@@ -1,0 +1,164 @@
+// Package splapi's top-level benchmarks regenerate every table and figure
+// of the paper's evaluation, one Benchmark per exhibit. Wall-clock ns/op
+// measures the simulator; the reproduced quantity — simulated microseconds
+// or MB/s — is attached as a custom metric on each run, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the same rows/series the paper reports.
+package splapi
+
+import (
+	"fmt"
+	"testing"
+
+	"splapi/internal/bench"
+	"splapi/internal/cluster"
+	"splapi/internal/nas"
+)
+
+// BenchmarkTable2 exercises the mode-to-protocol translation of Table 2
+// (standard/ready/sync/buffered against the eager limit).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lat := bench.MPIPingPong(cluster.LAPIEnhanced, 78, false)
+		b.ReportMetric(lat, "sim-us")
+	}
+}
+
+// BenchmarkFig10 reproduces Figure 10: raw LAPI vs the three MPI-LAPI
+// designs across message sizes.
+func BenchmarkFig10(b *testing.B) {
+	sizes := []int{16, 1024, 65536}
+	b.Run("RawLAPI", func(b *testing.B) {
+		for _, s := range sizes {
+			b.Run(fmt.Sprintf("%dB", s), func(b *testing.B) {
+				var v float64
+				for i := 0; i < b.N; i++ {
+					v = bench.RawLAPIPingPong(s)
+				}
+				b.ReportMetric(v, "sim-us")
+			})
+		}
+	})
+	for _, st := range []cluster.Stack{cluster.LAPIBase, cluster.LAPICounters, cluster.LAPIEnhanced} {
+		st := st
+		b.Run(st.String(), func(b *testing.B) {
+			for _, s := range sizes {
+				b.Run(fmt.Sprintf("%dB", s), func(b *testing.B) {
+					var v float64
+					for i := 0; i < b.N; i++ {
+						v = bench.MPIPingPong(st, s, false)
+					}
+					b.ReportMetric(v, "sim-us")
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFig11 reproduces Figure 11: polling-mode latency, native MPI vs
+// MPI-LAPI Enhanced.
+func BenchmarkFig11(b *testing.B) {
+	for _, st := range []cluster.Stack{cluster.Native, cluster.LAPIEnhanced} {
+		st := st
+		b.Run(st.String(), func(b *testing.B) {
+			for _, s := range []int{8, 1024, 16384, 65536} {
+				b.Run(fmt.Sprintf("%dB", s), func(b *testing.B) {
+					var v float64
+					for i := 0; i < b.N; i++ {
+						v = bench.MPIPingPong(st, s, false)
+					}
+					b.ReportMetric(v, "sim-us")
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFig12 reproduces Figure 12: streaming bandwidth.
+func BenchmarkFig12(b *testing.B) {
+	for _, st := range []cluster.Stack{cluster.Native, cluster.LAPIEnhanced} {
+		st := st
+		b.Run(st.String(), func(b *testing.B) {
+			for _, s := range []int{4096, 65536, 1 << 20} {
+				b.Run(fmt.Sprintf("%dB", s), func(b *testing.B) {
+					count := 48
+					if s >= 1<<20 {
+						count = 8
+					}
+					var v float64
+					for i := 0; i < b.N; i++ {
+						v = bench.MPIBandwidth(st, s, count)
+					}
+					b.ReportMetric(v, "sim-MB/s")
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFig13 reproduces Figure 13: interrupt-mode latency.
+func BenchmarkFig13(b *testing.B) {
+	for _, st := range []cluster.Stack{cluster.Native, cluster.LAPIEnhanced} {
+		st := st
+		b.Run(st.String(), func(b *testing.B) {
+			for _, s := range []int{8, 1024, 16384} {
+				b.Run(fmt.Sprintf("%dB", s), func(b *testing.B) {
+					var v float64
+					for i := 0; i < b.N; i++ {
+						v = bench.MPIPingPong(st, s, true)
+					}
+					b.ReportMetric(v, "sim-us")
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkNAS reproduces the Section 6.2 NAS table: every kernel on both
+// stacks, reporting simulated milliseconds.
+func BenchmarkNAS(b *testing.B) {
+	for _, k := range nas.Suite() {
+		k := k
+		b.Run(k.Name, func(b *testing.B) {
+			for _, st := range []cluster.Stack{cluster.Native, cluster.LAPIEnhanced} {
+				st := st
+				b.Run(st.String(), func(b *testing.B) {
+					var ms float64
+					for i := 0; i < b.N; i++ {
+						res := bench.RunNASKernel(k, st)
+						if !res.Verified {
+							b.Fatalf("%s on %v failed verification", k.Name, st)
+						}
+						ms = float64(res.Time) / 1e6
+					}
+					b.ReportMetric(ms, "sim-ms")
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkAblations regenerates the design-choice ablations DESIGN.md
+// calls out (context-switch cost, native copy rule, eager limit).
+func BenchmarkAblations(b *testing.B) {
+	b.Run("ctxswitch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := bench.AblateCtxSwitch()
+			b.ReportMetric(s[0].Points[len(s[0].Points)-1].Value, "sim-us-base-56us-ctx")
+		}
+	})
+	b.Run("copies", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := bench.AblateCopies()
+			b.ReportMetric(s[1].Points[0].Value, "sim-MBps-no-copy-rule")
+		}
+	})
+	b.Run("eager", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := bench.AblateEager()
+			b.ReportMetric(s[0].Points[len(s[0].Points)-1].Value, "sim-us-1KB-big-limit")
+		}
+	})
+}

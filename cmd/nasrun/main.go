@@ -1,0 +1,69 @@
+// Command nasrun executes the NAS Parallel Benchmark kernels on the
+// simulated 4-node SP and reports the Section 6.2 native-MPI vs MPI-LAPI
+// comparison.
+//
+// Usage:
+//
+//	nasrun              # full suite, both stacks
+//	nasrun -bench CG    # one kernel
+//	nasrun -stack mpi-lapi-base -bench LU
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"splapi/internal/bench"
+	"splapi/internal/cluster"
+	"splapi/internal/nas"
+)
+
+func stackByName(name string) (cluster.Stack, error) {
+	for _, s := range []cluster.Stack{
+		cluster.Native, cluster.LAPIBase, cluster.LAPICounters, cluster.LAPIEnhanced,
+	} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown stack %q", name)
+}
+
+func main() {
+	benchName := flag.String("bench", "", "single kernel to run (EP, MG, CG, FT, IS, LU, SP, BT); empty runs the suite")
+	stackName := flag.String("stack", "", "single stack to run on (native, mpi-lapi-base, mpi-lapi-counters, mpi-lapi-enhanced); empty compares native vs enhanced")
+	flag.Parse()
+
+	if *benchName == "" && *stackName == "" {
+		bench.PrintNAS(os.Stdout)
+		return
+	}
+
+	kernels := nas.Suite()
+	if *benchName != "" {
+		k, err := nas.ByName(strings.ToUpper(*benchName))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		kernels = []nas.Kernel{k}
+	}
+	stacks := []cluster.Stack{cluster.Native, cluster.LAPIEnhanced}
+	if *stackName != "" {
+		s, err := stackByName(*stackName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		stacks = []cluster.Stack{s}
+	}
+	fmt.Printf("%-6s %-22s %14s %10s\n", "bench", "stack", "time(ms)", "verified")
+	for _, k := range kernels {
+		for _, s := range stacks {
+			res := bench.RunNASKernel(k, s)
+			fmt.Printf("%-6s %-22s %14.2f %10v\n", k.Name, s, float64(res.Time)/1e6, res.Verified)
+		}
+	}
+}

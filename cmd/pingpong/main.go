@@ -1,0 +1,72 @@
+// Command pingpong measures point-to-point latency and streaming bandwidth
+// between two simulated SP nodes on any protocol stack.
+//
+// Usage:
+//
+//	pingpong                       # default sweep on native and enhanced
+//	pingpong -stack mpi-lapi-base -size 4096
+//	pingpong -interrupts           # the Figure 13 interrupt-mode receiver
+//	pingpong -bw                   # bandwidth instead of latency
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"splapi/internal/bench"
+	"splapi/internal/cluster"
+)
+
+func main() {
+	stackName := flag.String("stack", "", "stack (native, mpi-lapi-base, mpi-lapi-counters, mpi-lapi-enhanced, raw-lapi); empty compares native vs enhanced")
+	size := flag.Int("size", -1, "message size in bytes; -1 sweeps")
+	interrupts := flag.Bool("interrupts", false, "interrupt-mode receiver (Figure 13 methodology)")
+	bw := flag.Bool("bw", false, "measure streaming bandwidth instead of latency")
+	count := flag.Int("count", 48, "messages per bandwidth measurement")
+	flag.Parse()
+
+	stacks := []cluster.Stack{cluster.Native, cluster.LAPIEnhanced}
+	if *stackName != "" {
+		found := false
+		for _, s := range []cluster.Stack{cluster.Native, cluster.LAPIBase, cluster.LAPICounters, cluster.LAPIEnhanced, cluster.RawLAPI} {
+			if s.String() == *stackName {
+				stacks = []cluster.Stack{s}
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "pingpong: unknown stack %q\n", *stackName)
+			os.Exit(2)
+		}
+	}
+	sizes := []int{0, 8, 64, 256, 1024, 4096, 16384, 65536}
+	if *size >= 0 {
+		sizes = []int{*size}
+	}
+	unit := "us one-way"
+	if *bw {
+		unit = "MB/s"
+	}
+	fmt.Printf("%10s", "size(B)")
+	for _, s := range stacks {
+		fmt.Printf("  %22s", s)
+	}
+	fmt.Printf("   [%s]\n", unit)
+	for _, sz := range sizes {
+		fmt.Printf("%10d", sz)
+		for _, st := range stacks {
+			var v float64
+			switch {
+			case st == cluster.RawLAPI:
+				v = bench.RawLAPIPingPong(sz)
+			case *bw:
+				v = bench.MPIBandwidth(st, sz, *count)
+			default:
+				v = bench.MPIPingPong(st, sz, *interrupts)
+			}
+			fmt.Printf("  %22.2f", v)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,82 @@
+// Command spsim regenerates the paper's experiments on the simulated SP
+// system.
+//
+// Usage:
+//
+//	spsim -exp fig10|fig11|fig12|fig13|nas|table2|ablate-ctxswitch|ablate-copies|ablate-eager|generations|stats|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"splapi/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (fig10, fig11, fig12, fig13, nas, table2, ablate-ctxswitch, ablate-copies, ablate-eager, generations, stats, all)")
+	flag.Parse()
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	any := false
+	if run("fig10") {
+		any = true
+		bench.PrintSeries(os.Stdout, "Figure 10: raw LAPI vs MPI-LAPI designs (one-way time, polling)", "us", bench.Fig10())
+		fmt.Println()
+	}
+	if run("fig11") {
+		any = true
+		bench.PrintSeries(os.Stdout, "Figure 11: native MPI vs MPI-LAPI Enhanced (one-way latency, polling)", "us", bench.Fig11())
+		fmt.Println()
+	}
+	if run("fig12") {
+		any = true
+		bench.PrintSeries(os.Stdout, "Figure 12: native MPI vs MPI-LAPI Enhanced (streaming bandwidth)", "MB/s", bench.Fig12())
+		fmt.Println()
+	}
+	if run("fig13") {
+		any = true
+		bench.PrintSeries(os.Stdout, "Figure 13: native MPI vs MPI-LAPI Enhanced (one-way latency, interrupt mode)", "us", bench.Fig13())
+		fmt.Println()
+	}
+	if run("table2") {
+		any = true
+		bench.PrintTable2(os.Stdout)
+		fmt.Println()
+	}
+	if run("nas") {
+		any = true
+		bench.PrintNAS(os.Stdout)
+		fmt.Println()
+	}
+	if run("ablate-ctxswitch") {
+		any = true
+		bench.PrintAblateCtxSwitch(os.Stdout)
+		fmt.Println()
+	}
+	if run("ablate-copies") {
+		any = true
+		bench.PrintAblateCopies(os.Stdout)
+		fmt.Println()
+	}
+	if run("ablate-eager") {
+		any = true
+		bench.PrintAblateEager(os.Stdout)
+		fmt.Println()
+	}
+	if run("generations") {
+		any = true
+		bench.PrintNodeGenerations(os.Stdout)
+		fmt.Println()
+	}
+	if run("stats") {
+		any = true
+		bench.PrintStats(os.Stdout)
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "spsim: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

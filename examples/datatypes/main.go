@@ -1,0 +1,87 @@
+// Datatypes: exchange a matrix *column* (a strided vector) between two
+// ranks using MPI derived datatypes — the feature the paper lists as
+// future work ("We plan to implement MPI data types"), implemented here as
+// an extension. The same transfer is also done with manual packing to show
+// the two produce identical results.
+package main
+
+import (
+	"fmt"
+
+	"splapi/internal/cluster"
+	"splapi/internal/mpci"
+	"splapi/internal/mpi"
+	"splapi/internal/sim"
+)
+
+const (
+	rows = 16
+	cols = 8
+)
+
+// matrix is row-major [rows][cols] of float64 as raw bytes.
+func matrix(seed float64) []byte {
+	xs := make([]float64, rows*cols)
+	for i := range xs {
+		xs[i] = seed + float64(i)
+	}
+	return mpi.Float64Slice(xs)
+}
+
+func column(m []byte, c int) []float64 {
+	out := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		one := make([]float64, 1)
+		mpi.PutFloat64Slice(one, m[(r*cols+c)*8:])
+		out[r] = one[0]
+	}
+	return out
+}
+
+func main() {
+	c := cluster.New(cluster.Config{Nodes: 2, Stack: cluster.LAPIEnhanced, Seed: 5})
+
+	// A column of a row-major matrix: `rows` blocks of one float64,
+	// strided `cols` elements apart.
+	colType := mpi.Vector(mpi.Float64, rows, 1, cols)
+
+	c.RunMPI(0, func(p *sim.Proc, prov mpci.Provider) {
+		w := mpi.NewWorld(prov)
+		switch w.Rank() {
+		case 0:
+			m := matrix(100)
+			// Typed send: column 3, no manual packing.
+			w.SendTyped(p, m[3*8:], colType, 1, 1, 0)
+			// The same column, hand-packed, for comparison.
+			packed := mpi.Pack(nil, m[3*8:], colType, 1)
+			w.Send(p, packed, 1, 1)
+		case 1:
+			m := matrix(0) // receive into column 5 of a local matrix
+			w.RecvTyped(p, m[5*8:], colType, 1, 0, 0)
+			packed := make([]byte, mpi.PackSize(colType, 1))
+			w.Recv(p, packed, 0, 1)
+			manual := make([]float64, rows)
+			mpi.PutFloat64Slice(manual, packed)
+
+			typed := column(m, 5)
+			fmt.Printf("[%8s] column received via derived datatype vs manual pack:\n", p.Now())
+			same := true
+			for r := 0; r < rows; r++ {
+				if typed[r] != manual[r] {
+					same = false
+				}
+			}
+			fmt.Printf("  typed[0..3]  = %v\n", typed[:4])
+			fmt.Printf("  manual[0..3] = %v\n", manual[:4])
+			fmt.Printf("  identical    = %v\n", same)
+			if !same {
+				panic("derived-datatype transfer diverged from manual packing")
+			}
+			// Sanity: the received column is the sender's column 3.
+			want := 100.0 + 3
+			if typed[0] != want || typed[1] != want+cols {
+				panic("wrong column data")
+			}
+		}
+	})
+}

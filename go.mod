@@ -1,0 +1,3 @@
+module splapi
+
+go 1.22

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"splapi/internal/cluster"
+	"splapi/internal/machine"
+	"splapi/internal/mpci"
+	"splapi/internal/mpi"
+	"splapi/internal/sim"
+)
+
+// PrintTable2 demonstrates the Table 2 mode-to-protocol translation by
+// running one message per (mode, size) cell on the MPI-LAPI Enhanced stack
+// and reporting which internal protocol carried it.
+func PrintTable2(w io.Writer) {
+	fmt.Fprintln(w, "Table 2: translation of MPI communication modes to internal protocols")
+	fmt.Fprintf(w, "%-12s %-14s %-12s\n", "mode", "size vs eager", "protocol")
+	type row struct {
+		mode mpci.Mode
+		size int
+		rel  string
+	}
+	rows := []row{
+		{mpci.ModeStandard, 78, "<= limit"},
+		{mpci.ModeStandard, 1024, "> limit"},
+		{mpci.ModeReady, 1024, "> limit"},
+		{mpci.ModeSync, 8, "<= limit"},
+		{mpci.ModeBuffered, 78, "<= limit"},
+		{mpci.ModeBuffered, 1024, "> limit"},
+	}
+	for _, r := range rows {
+		par := paperParams()
+		c := cluster.New(cluster.Config{Nodes: 2, Stack: cluster.LAPIEnhanced, Seed: 1, Params: &par})
+		r := r
+		c.RunMPI(0, func(p *sim.Proc, prov mpci.Provider) {
+			world := mpi.NewWorld(prov)
+			if world.Rank() == 0 {
+				if r.mode == mpci.ModeBuffered {
+					world.BufferAttach(make([]byte, 1<<16))
+				}
+				if r.mode == mpci.ModeReady {
+					p.Sleep(2 * sim.Millisecond)
+				}
+				req := prov.IsendBlocking(p, 1, make([]byte, r.size), 0, 0, r.mode)
+				prov.WaitUntil(p, req.Done)
+			} else {
+				req := prov.Irecv(p, 0, 0, 0, make([]byte, r.size))
+				prov.WaitUntil(p, req.Done)
+			}
+		})
+		st := c.Provs[0].(*mpci.LAPIProvider).Stats()
+		proto := "eager"
+		if st.RdvSends > 0 {
+			proto = "rendezvous"
+		}
+		fmt.Fprintf(w, "%-12v %-14s %-12s\n", r.mode, r.rel, proto)
+	}
+}
+
+// AblateCtxSwitch sweeps the thread context-switch cost and reports the
+// small-message latency of the Base design against Enhanced: the Section
+// 5.2 finding that the context switch dominates the Base design's overhead.
+func AblateCtxSwitch() []Series {
+	costs := []sim.Time{0, 7 * sim.Microsecond, 14 * sim.Microsecond, 28 * sim.Microsecond, 56 * sim.Microsecond}
+	out := []Series{{Label: "MPI-LAPI Base (64B)"}, {Label: "MPI-LAPI Enhanced (64B)"}}
+	for _, cost := range costs {
+		par := paperParams()
+		par.ThreadContextSwitch = cost
+		base := pingPongWithParams(cluster.LAPIBase, 64, &par)
+		enh := pingPongWithParams(cluster.LAPIEnhanced, 64, &par)
+		out[0].Points = append(out[0].Points, Point{int(cost / sim.Microsecond), base})
+		out[1].Points = append(out[1].Points, Point{int(cost / sim.Microsecond), enh})
+	}
+	return out
+}
+
+// PrintAblateCtxSwitch prints the context-switch ablation; the x column is
+// the context-switch cost in microseconds.
+func PrintAblateCtxSwitch(w io.Writer) {
+	fmt.Fprintln(w, "Ablation (Section 5.2): completion-handler thread context-switch cost")
+	s := AblateCtxSwitch()
+	fmt.Fprintf(w, "%14s  %22s  %22s\n", "ctxswitch(us)", s[0].Label, s[1].Label)
+	for i := range s[0].Points {
+		fmt.Fprintf(w, "%14d  %22.2f  %22.2f\n", s[0].Points[i].Size, s[0].Points[i].Value, s[1].Points[i].Value)
+	}
+}
+
+// AblateCopies disables the native stack's 16 KB head/tail copy rule
+// (PipeHeadTailCopyBytes = 0 charges every byte a single copy) to isolate
+// how much of the Figure 12 bandwidth gap the Section 2 copies explain.
+func AblateCopies() []Series {
+	sizes := []int{4096, 16384, 65536, 262144}
+	out := []Series{
+		{Label: "Native (16KB copy rule)"},
+		{Label: "Native (copies removed)"},
+		{Label: "MPI-LAPI Enhanced"},
+	}
+	for _, size := range sizes {
+		count := 64
+		par := paperParams()
+		out[0].Points = append(out[0].Points, Point{size, bandwidthWithParams(cluster.Native, size, count, &par)})
+		par2 := paperParams()
+		par2.PipeHeadTailCopyBytes = 0
+		out[1].Points = append(out[1].Points, Point{size, bandwidthWithParams(cluster.Native, size, count, &par2)})
+		par3 := paperParams()
+		out[2].Points = append(out[2].Points, Point{size, bandwidthWithParams(cluster.LAPIEnhanced, size, count, &par3)})
+	}
+	return out
+}
+
+// PrintAblateCopies prints the copy-rule ablation.
+func PrintAblateCopies(w io.Writer) {
+	PrintSeries(w, "Ablation (Section 2): native user<->pipe copy rule vs bandwidth", "MB/s", AblateCopies())
+}
+
+// AblateEager sweeps the eager limit and reports mid-size message latency
+// on the Enhanced stack: the buffer-space/latency tradeoff of Section 4.
+func AblateEager() []Series {
+	limits := []int{0, 78, 512, 4096, 16384}
+	out := []Series{{Label: "MPI-LAPI Enhanced (1KB)"}, {Label: "MPI-LAPI Enhanced (8KB)"}}
+	for _, lim := range limits {
+		par := paperParams()
+		par.EagerLimit = lim
+		out[0].Points = append(out[0].Points, Point{lim, pingPongWithParams(cluster.LAPIEnhanced, 1024, &par)})
+		par2 := paperParams()
+		par2.EagerLimit = lim
+		out[1].Points = append(out[1].Points, Point{lim, pingPongWithParams(cluster.LAPIEnhanced, 8192, &par2)})
+	}
+	return out
+}
+
+// PrintAblateEager prints the eager-limit ablation; the x column is the
+// eager limit in bytes.
+func PrintAblateEager(w io.Writer) {
+	fmt.Fprintln(w, "Ablation (Section 4): eager limit vs latency (receives pre-posted)")
+	s := AblateEager()
+	fmt.Fprintf(w, "%14s  %26s  %26s\n", "eager(B)", s[0].Label, s[1].Label)
+	for i := range s[0].Points {
+		fmt.Fprintf(w, "%14d  %26.2f  %26.2f\n", s[0].Points[i].Size, s[0].Points[i].Value, s[1].Points[i].Value)
+	}
+}
+
+// pingPongWithParams is MPIPingPong with an explicit cost model.
+func pingPongWithParams(stack cluster.Stack, size int, par *machine.Params) float64 {
+	c := cluster.New(cluster.Config{Nodes: 2, Stack: stack, Seed: 1, Params: par})
+	return runPingPong(c, size, false)
+}
+
+// bandwidthWithParams is MPIBandwidth with an explicit cost model.
+func bandwidthWithParams(stack cluster.Stack, size, count int, par *machine.Params) float64 {
+	c := cluster.New(cluster.Config{Nodes: 2, Stack: stack, Seed: 1, Params: par})
+	return runBandwidth(c, size, count)
+}
+
+// NodeGenerations compares the Figure 11 headline (16 KB polling latency)
+// across the two SP node generations: the paper's findings should hold on
+// both, with larger absolute gaps on the slower node (more expensive
+// copies and context switches).
+func NodeGenerations() []Series {
+	gens := []struct {
+		name string
+		par  func() machine.Params
+	}{
+		{"SP332/TBMX", machine.SP332},
+		{"SP160/TB3", machine.SP160},
+	}
+	out := []Series{{Label: "Native 16KB (us)"}, {Label: "MPI-LAPI 16KB (us)"}, {Label: "Base-Enhanced gap 16B (us)"}}
+	for i, g := range gens {
+		par := g.par()
+		par.EagerLimit = 78
+		parN := par
+		out[0].Points = append(out[0].Points, Point{i, pingPongWithParams(cluster.Native, 16384, &parN)})
+		parL := par
+		out[1].Points = append(out[1].Points, Point{i, pingPongWithParams(cluster.LAPIEnhanced, 16384, &parL)})
+		parB := par
+		base := pingPongWithParams(cluster.LAPIBase, 16, &parB)
+		parE := par
+		enh := pingPongWithParams(cluster.LAPIEnhanced, 16, &parE)
+		out[2].Points = append(out[2].Points, Point{i, base - enh})
+	}
+	return out
+}
+
+// PrintNodeGenerations prints the cross-generation comparison.
+func PrintNodeGenerations(w io.Writer) {
+	fmt.Fprintln(w, "Sensitivity: node generations (0 = SP332/TBMX, 1 = SP160/TB3)")
+	s := NodeGenerations()
+	fmt.Fprintf(w, "%6s  %22s  %22s  %28s\n", "gen", s[0].Label, s[1].Label, s[2].Label)
+	for i := range s[0].Points {
+		fmt.Fprintf(w, "%6d  %22.2f  %22.2f  %28.2f\n",
+			s[0].Points[i].Size, s[0].Points[i].Value, s[1].Points[i].Value, s[2].Points[i].Value)
+	}
+}

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"splapi/internal/cluster"
+	"splapi/internal/mpci"
+	"splapi/internal/mpi"
+	"splapi/internal/sim"
+	"splapi/internal/trace"
+)
+
+// PrintStats runs a mixed-size ring workload on every stack and prints the
+// layered trace report for each — the observability view of where each
+// protocol spends its packets, copies, and handler invocations.
+func PrintStats(w io.Writer) {
+	for _, stack := range []cluster.Stack{
+		cluster.Native, cluster.LAPIBase, cluster.LAPICounters, cluster.LAPIEnhanced,
+	} {
+		par := paperParams()
+		c := cluster.New(cluster.Config{Nodes: 4, Stack: stack, Seed: 2, Params: &par})
+		c.RunMPI(60*sim.Second, func(p *sim.Proc, prov mpci.Provider) {
+			world := mpi.NewWorld(prov)
+			for round, sz := range []int{16, 78, 1024, 16384, 262144} {
+				buf := make([]byte, sz)
+				next := (world.Rank() + 1) % world.Size()
+				prev := (world.Rank() - 1 + world.Size()) % world.Size()
+				world.Sendrecv(p, buf, next, round, make([]byte, sz), prev, round)
+			}
+			world.Barrier(p)
+		})
+		r := trace.Collect(c)
+		r.Print(w)
+		if err := r.Consistent(); err != nil {
+			fmt.Fprintf(w, "  CONSISTENCY VIOLATION: %v\n", err)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,160 @@
+// Package cluster assembles a simulated IBM RS/6000 SP system: N nodes with
+// adapters on a switch fabric, each running one MPI task over a chosen
+// protocol stack, and runs SPMD programs on it under the discrete-event
+// engine.
+package cluster
+
+import (
+	"fmt"
+
+	"splapi/internal/adapter"
+	"splapi/internal/hal"
+	"splapi/internal/lapi"
+	"splapi/internal/machine"
+	"splapi/internal/mpci"
+	"splapi/internal/pipes"
+	"splapi/internal/sim"
+	"splapi/internal/switchnet"
+)
+
+// Stack selects the protocol stack of Figure 1 (plus the Section 5 MPI-LAPI
+// designs).
+type Stack int
+
+// Available stacks.
+const (
+	// Native is MPI / MPCI / Pipes / HAL (Figure 1a).
+	Native Stack = iota
+	// LAPIBase is MPI / new MPCI / LAPI / HAL with threaded completion
+	// handlers (the Section 4 base design).
+	LAPIBase
+	// LAPICounters avoids completion handlers for eager messages using
+	// exchanged counters (Section 5.2).
+	LAPICounters
+	// LAPIEnhanced uses the enhanced LAPI with same-context predefined
+	// completion handlers (Section 5.3).
+	LAPIEnhanced
+	// RawLAPI builds only the LAPI endpoints (no MPCI); benchmarks use it
+	// to measure bare LAPI performance as in Figure 10.
+	RawLAPI
+)
+
+func (s Stack) String() string {
+	switch s {
+	case Native:
+		return "native"
+	case LAPIBase:
+		return "mpi-lapi-base"
+	case LAPICounters:
+		return "mpi-lapi-counters"
+	case LAPIEnhanced:
+		return "mpi-lapi-enhanced"
+	case RawLAPI:
+		return "raw-lapi"
+	}
+	return fmt.Sprintf("stack(%d)", int(s))
+}
+
+// Design returns the MPCI design for LAPI-backed stacks.
+func (s Stack) Design() mpci.Design {
+	switch s {
+	case LAPICounters:
+		return mpci.DesignCounters
+	case LAPIEnhanced:
+		return mpci.DesignEnhanced
+	default:
+		return mpci.DesignBase
+	}
+}
+
+// Config describes the system to build.
+type Config struct {
+	Nodes int
+	Stack Stack
+	Seed  int64
+	// Params is the cost model; zero value means machine.SP332().
+	Params *machine.Params
+	// Interrupts arms packet-arrival interrupts on every node.
+	Interrupts bool
+}
+
+// Cluster is a built system.
+type Cluster struct {
+	Eng      *sim.Engine
+	Par      *machine.Params
+	Stack    Stack
+	Fabric   *switchnet.Fabric
+	Adapters []*adapter.Adapter
+	HALs     []*hal.HAL
+	Pipes    []*pipes.Pipes
+	LAPIs    []*lapi.LAPI
+	Provs    []mpci.Provider
+	Barrier  *sim.Barrier
+}
+
+// New builds a cluster per cfg.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes < 1 {
+		panic("cluster: need at least one node")
+	}
+	par := cfg.Params
+	if par == nil {
+		p := machine.SP332()
+		par = &p
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	c := &Cluster{
+		Eng:     eng,
+		Par:     par,
+		Stack:   cfg.Stack,
+		Fabric:  switchnet.New(eng, par, cfg.Nodes),
+		Barrier: sim.NewBarrier(cfg.Nodes),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		ad := adapter.New(eng, par, c.Fabric, i)
+		h := hal.New(eng, par, ad)
+		c.Adapters = append(c.Adapters, ad)
+		c.HALs = append(c.HALs, h)
+		switch cfg.Stack {
+		case Native:
+			pp := pipes.New(eng, par, h, cfg.Nodes)
+			c.Pipes = append(c.Pipes, pp)
+			c.Provs = append(c.Provs, mpci.NewNative(eng, par, h, pp, cfg.Nodes, c.Barrier))
+		case RawLAPI:
+			l := lapi.New(eng, par, h, cfg.Nodes, lapi.Inline)
+			c.LAPIs = append(c.LAPIs, l)
+		default:
+			l := lapi.New(eng, par, h, cfg.Nodes, cfg.Stack.Design().LAPIVariant())
+			c.LAPIs = append(c.LAPIs, l)
+			c.Provs = append(c.Provs, mpci.NewLAPI(eng, par, l, cfg.Nodes, c.Barrier, cfg.Stack.Design()))
+		}
+		if cfg.Interrupts {
+			h.EnableInterrupts(true)
+		}
+	}
+	return c
+}
+
+// Spawn starts fn as rank's task process.
+func (c *Cluster) Spawn(rank int, fn func(p *sim.Proc)) {
+	c.Eng.Spawn(fmt.Sprintf("rank-%d", rank), fn)
+}
+
+// Run spawns fn on every rank and runs the engine to quiescence (or the
+// horizon, if positive). It returns the final virtual time.
+func (c *Cluster) Run(horizon sim.Time, fn func(p *sim.Proc, rank int)) sim.Time {
+	for r := 0; r < len(c.HALs); r++ {
+		r := r
+		c.Spawn(r, func(p *sim.Proc) { fn(p, r) })
+	}
+	c.Eng.Run(horizon)
+	return c.Eng.Now()
+}
+
+// RunMPI spawns an SPMD function per rank with its MPCI provider.
+func (c *Cluster) RunMPI(horizon sim.Time, fn func(p *sim.Proc, prov mpci.Provider)) sim.Time {
+	if c.Provs == nil {
+		panic("cluster: stack has no MPCI provider (RawLAPI)")
+	}
+	return c.Run(horizon, func(p *sim.Proc, rank int) { fn(p, c.Provs[rank]) })
+}

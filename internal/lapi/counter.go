@@ -1,0 +1,40 @@
+package lapi
+
+import "splapi/internal/sim"
+
+// Counter is a LAPI counter (Figure 2): origin, target, and completion
+// counters all use this type. Increments wake any process parked in
+// Waitcntr and kick the node's progress engine so pollers re-evaluate.
+type Counter struct {
+	l    *LAPI
+	val  int
+	cond sim.Cond
+}
+
+// NewCounter creates a counter owned by this task (LAPI counters live in a
+// task's address space).
+func (l *LAPI) NewCounter() *Counter { return &Counter{l: l} }
+
+// Value returns the current value (LAPI_Getcntr).
+func (c *Counter) Value() int { return c.val }
+
+// Set overwrites the value (LAPI_Setcntr).
+func (c *Counter) Set(v int) {
+	c.val = v
+	c.cond.Broadcast()
+	c.l.h.KickProgress()
+}
+
+func (c *Counter) add(n int) {
+	c.val += n
+	c.cond.Broadcast()
+	c.l.h.KickProgress()
+}
+
+// Wait blocks until the counter reaches at least val, then decrements it by
+// val (LAPI_Waitcntr semantics). The caller drives the dispatcher while
+// waiting, as a real LAPI polling-mode wait does.
+func (c *Counter) Wait(p *sim.Proc, val int) {
+	c.l.h.ProgressWait(p, func() bool { return c.val >= val })
+	c.val -= val
+}

@@ -1,0 +1,67 @@
+package lapi
+
+import "fmt"
+
+// EnvVar names a LAPI environment variable (LAPI_Qenv / LAPI_Senv).
+type EnvVar int
+
+// Queryable environment state.
+const (
+	// EnvTaskID is this task's id (query only).
+	EnvTaskID EnvVar = iota
+	// EnvNumTasks is the job size (query only).
+	EnvNumTasks
+	// EnvInterruptSet is 1 when packet-arrival interrupts are armed; the
+	// only settable variable, as on real LAPI.
+	EnvInterruptSet
+	// EnvMaxUhdrSize is the largest user header Amsend accepts (query
+	// only).
+	EnvMaxUhdrSize
+	// EnvMaxDataSize is the largest single-message payload (query only).
+	EnvMaxDataSize
+)
+
+func (v EnvVar) String() string {
+	switch v {
+	case EnvTaskID:
+		return "TASK_ID"
+	case EnvNumTasks:
+		return "NUM_TASKS"
+	case EnvInterruptSet:
+		return "INTERRUPT_SET"
+	case EnvMaxUhdrSize:
+		return "MAX_UHDR_SZ"
+	case EnvMaxDataSize:
+		return "MAX_DATA_SZ"
+	}
+	return fmt.Sprintf("EnvVar(%d)", int(v))
+}
+
+// Qenv queries the LAPI environment (LAPI_Qenv).
+func (l *LAPI) Qenv(v EnvVar) int {
+	switch v {
+	case EnvTaskID:
+		return l.node
+	case EnvNumTasks:
+		return l.n
+	case EnvInterruptSet:
+		if l.h.InterruptsEnabled() {
+			return 1
+		}
+		return 0
+	case EnvMaxUhdrSize:
+		return l.par.PacketPayload - flowHdrSize - msgHdrFixed
+	case EnvMaxDataSize:
+		return 1 << 31
+	}
+	panic(fmt.Sprintf("lapi: Qenv of unknown variable %v", v))
+}
+
+// Senv sets a LAPI environment variable (LAPI_Senv). Only EnvInterruptSet
+// is settable.
+func (l *LAPI) Senv(v EnvVar, val int) {
+	if v != EnvInterruptSet {
+		panic(fmt.Sprintf("lapi: Senv of read-only variable %v", v))
+	}
+	l.SetInterruptMode(val != 0)
+}

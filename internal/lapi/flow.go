@@ -1,0 +1,203 @@
+package lapi
+
+import (
+	"encoding/binary"
+
+	"splapi/internal/hal"
+	"splapi/internal/sim"
+)
+
+// flow is LAPI's reliable transport to one peer. Unlike the Pipes layer it
+// does NOT resequence: packets are delivered to the message-reassembly layer
+// immediately in whatever order the switch produces, because every data
+// packet carries its destination offset. Reliability uses per-pair packet
+// sequence numbers with cumulative acknowledgements, a duplicate filter for
+// out-of-order arrivals, and go-back-N retransmission on timeout.
+//
+// Wire format (after the protocol byte):
+//
+//	[1]=kind  [2:10]=flow sequence number  [10:18]=piggybacked cumulative
+//	ack for the reverse flow  [18:]=kind-specific body
+//	kAck body: empty (the piggyback field carries the ack)
+const (
+	kAck  byte = 0
+	kHdr  byte = 1
+	kData byte = 2
+
+	flowHdrSize = 18
+)
+
+type flowPkt struct {
+	seq     uint64
+	payload []byte // full packet including protocol byte and flow header
+}
+
+type flow struct {
+	l    *LAPI
+	peer int
+
+	// Sender state.
+	nextSeq  uint64
+	cumAcked uint64
+	unacked  []flowPkt
+	rtxArmed bool
+	rtxTimer *sim.Timer
+
+	// Receiver state.
+	expected  uint64 // all seqs below this processed
+	processed map[uint64]bool
+	ackOwed   bool
+	ackTimer  *sim.Timer
+	sinceAck  int
+}
+
+func newFlow(l *LAPI, peer int) *flow {
+	return &flow{l: l, peer: peer, processed: make(map[uint64]bool)}
+}
+
+// windowPkts is the maximum number of unacknowledged packets in flight.
+func (f *flow) windowPkts() int {
+	w := f.l.par.PipeWindowBytes / f.l.par.PacketPayload
+	if w < 4 {
+		w = 4
+	}
+	return w
+}
+
+// send transmits one packet reliably. body is the kind-specific bytes; the
+// flow prepends its framing. Blocks while the window is full.
+func (f *flow) send(p *sim.Proc, kind byte, body []byte) {
+	for len(f.unacked) >= f.windowPkts() {
+		f.l.stats.WindowStalls++
+		f.l.h.ProgressWait(p, func() bool { return len(f.unacked) < f.windowPkts() })
+	}
+	buf := make([]byte, flowHdrSize+len(body))
+	buf[0] = hal.ProtoLAPI
+	buf[1] = kind
+	seq := f.nextSeq
+	f.nextSeq++
+	binary.BigEndian.PutUint64(buf[2:10], seq)
+	f.stampAck(buf)
+	copy(buf[flowHdrSize:], body)
+	f.unacked = append(f.unacked, flowPkt{seq: seq, payload: buf})
+	f.l.h.Send(p, f.peer, buf)
+	f.armRtx()
+}
+
+// stampAck piggybacks the receive side's cumulative ack on an outgoing
+// packet and cancels any owed standalone ack.
+func (f *flow) stampAck(buf []byte) {
+	binary.BigEndian.PutUint64(buf[10:18], f.expected)
+	if f.ackOwed {
+		f.ackOwed = false
+		if f.ackTimer != nil {
+			f.ackTimer.Stop()
+			f.ackTimer = nil
+		}
+		f.l.stats.AcksPiggyback++
+	}
+	f.sinceAck = 0
+}
+
+func (f *flow) armRtx() {
+	if f.rtxArmed || len(f.unacked) == 0 {
+		return
+	}
+	f.rtxArmed = true
+	f.rtxTimer = f.l.eng.After(f.l.par.RetransmitTimeout, func() {
+		f.rtxArmed = false
+		if len(f.unacked) == 0 {
+			return
+		}
+		f.l.requestResend(f.peer)
+	})
+}
+
+// retransmit resends every unacked packet (go-back-N) with a fresh
+// piggybacked ack; runs on the service process.
+func (f *flow) retransmit(p *sim.Proc) {
+	if len(f.unacked) == 0 {
+		return
+	}
+	f.l.stats.Retransmits++
+	for _, pk := range f.unacked {
+		f.stampAck(pk.payload)
+		f.l.h.Send(p, f.peer, pk.payload)
+	}
+	f.armRtx()
+}
+
+// onAck processes a cumulative ack.
+func (f *flow) onAck(cum uint64) {
+	if cum <= f.cumAcked {
+		return
+	}
+	f.cumAcked = cum
+	i := 0
+	for i < len(f.unacked) && f.unacked[i].seq < cum {
+		i++
+	}
+	f.unacked = f.unacked[i:]
+	// Progress: restart the retransmission timer rather than letting a
+	// stale one fire mid-stream and resend the whole window.
+	if f.rtxTimer != nil {
+		f.rtxTimer.Stop()
+	}
+	f.rtxArmed = false
+	f.armRtx()
+	f.l.h.KickProgress()
+}
+
+// accept runs the receive-side duplicate filter for sequence seq. It reports
+// whether the packet is new (should be processed). It also advances the
+// cumulative point and schedules acknowledgements.
+func (f *flow) accept(p *sim.Proc, seq uint64) bool {
+	if seq < f.expected || f.processed[seq] {
+		f.l.stats.DupsDropped++
+		f.sendAck(p) // re-ack so the sender stops resending
+		return false
+	}
+	f.processed[seq] = true
+	for f.processed[f.expected] {
+		delete(f.processed, f.expected)
+		f.expected++
+	}
+	f.sinceAck++
+	if len(f.processed) > 0 || f.sinceAck >= 8 {
+		// A gap exists (loss or reorder) or enough packets accumulated:
+		// ack immediately.
+		f.sendAck(p)
+	} else {
+		f.scheduleAck()
+	}
+	return true
+}
+
+func (f *flow) sendAck(p *sim.Proc) {
+	if f.ackTimer != nil {
+		f.ackTimer.Stop()
+		f.ackTimer = nil
+	}
+	f.ackOwed = false
+	f.sinceAck = 0
+	buf := make([]byte, flowHdrSize)
+	buf[0] = hal.ProtoLAPI
+	buf[1] = kAck
+	binary.BigEndian.PutUint64(buf[10:18], f.expected)
+	f.l.stats.AcksSent++
+	f.l.h.Send(p, f.peer, buf)
+}
+
+func (f *flow) scheduleAck() {
+	if f.ackOwed {
+		return
+	}
+	f.ackOwed = true
+	f.ackTimer = f.l.eng.After(f.l.par.AckDelay, func() {
+		f.ackTimer = nil
+		if !f.ackOwed {
+			return
+		}
+		f.l.requestAck(f.peer)
+	})
+}

@@ -1,0 +1,403 @@
+package lapi
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"splapi/internal/adapter"
+	"splapi/internal/hal"
+	"splapi/internal/machine"
+	"splapi/internal/sim"
+	"splapi/internal/switchnet"
+)
+
+type rig struct {
+	eng *sim.Engine
+	par machine.Params
+	ls  []*LAPI
+}
+
+func newRig(t testing.TB, n int, seed int64, v Variant, mut func(*machine.Params)) *rig {
+	t.Helper()
+	r := &rig{eng: sim.NewEngine(seed), par: machine.SP332()}
+	if mut != nil {
+		mut(&r.par)
+	}
+	f := switchnet.New(r.eng, &r.par, n)
+	for i := 0; i < n; i++ {
+		ad := adapter.New(r.eng, &r.par, f, i)
+		h := hal.New(r.eng, &r.par, ad)
+		r.ls = append(r.ls, New(r.eng, &r.par, h, n, v))
+	}
+	return r
+}
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*13 + seed
+	}
+	return b
+}
+
+func TestPutDeliversAndCounters(t *testing.T) {
+	r := newRig(t, 2, 1, Inline, nil)
+	dst := make([]byte, 4096)
+	bufID := r.ls[1].RegisterBuffer(dst)
+	tgtC := r.ls[1].NewCounter()
+	tgtID := r.ls[1].RegisterCounter(tgtC)
+	cmplC := r.ls[0].NewCounter()
+	cmplID := r.ls[0].RegisterCounter(cmplC)
+	org := r.ls[0].NewCounter()
+	msg := pattern(3000, 5)
+	r.eng.Spawn("origin", func(p *sim.Proc) {
+		r.ls[0].Put(p, 1, bufID, 512, msg, tgtID, org, cmplID)
+		if org.Value() != 1 {
+			t.Error("origin counter not incremented after Put buffered")
+		}
+		cmplC.Wait(p, 1) // wait for target's completion notification
+	})
+	r.eng.Spawn("target", func(p *sim.Proc) {
+		tgtC.Wait(p, 1)
+	})
+	r.eng.Run(sim.Second)
+	if !bytes.Equal(dst[512:512+3000], msg) {
+		t.Fatal("Put data corrupted or misplaced")
+	}
+	if cmplC.Value() != 0 || tgtC.Value() != 0 {
+		t.Fatalf("counters not consumed by Wait: cmpl=%d tgt=%d", cmplC.Value(), tgtC.Value())
+	}
+}
+
+func TestAmsendHeaderAndCompletionHandlers(t *testing.T) {
+	for _, v := range []Variant{Threaded, Inline} {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			r := newRig(t, 2, 1, v, nil)
+			buf := make([]byte, 8192)
+			var hdrSrc int
+			var hdrUhdr []byte
+			cmplRan := false
+			hid := r.ls[1].RegisterHeaderHandler(func(p *sim.Proc, src int, uhdr []byte, dataLen int) ([]byte, CmplHandler, any) {
+				hdrSrc = src
+				hdrUhdr = append([]byte(nil), uhdr...)
+				return buf, func(p *sim.Proc, arg any) {
+					cmplRan = true
+					if arg.(string) != "arg" {
+						t.Error("wrong completion arg")
+					}
+				}, "arg"
+			})
+			r.ls[0].RegisterHeaderHandler(nil) // same registry shape on both tasks
+			tgtC := r.ls[1].NewCounter()
+			tgtID := r.ls[1].RegisterCounter(tgtC)
+			r.ls[0].RegisterCounter(r.ls[0].NewCounter())
+			msg := pattern(6000, 9)
+			r.eng.Spawn("origin", func(p *sim.Proc) {
+				r.ls[0].Amsend(p, 1, hid, []byte("match-me"), msg, tgtID, nil, -1)
+				r.ls[0].Fence(p, 1)
+			})
+			r.eng.Spawn("target", func(p *sim.Proc) { tgtC.Wait(p, 1) })
+			r.eng.Run(sim.Second)
+			if hdrSrc != 0 || string(hdrUhdr) != "match-me" {
+				t.Fatalf("header handler saw src=%d uhdr=%q", hdrSrc, hdrUhdr)
+			}
+			if !cmplRan {
+				t.Fatal("completion handler did not run")
+			}
+			if !bytes.Equal(buf[:6000], msg) {
+				t.Fatal("Amsend data corrupted")
+			}
+			st := r.ls[1].Stats()
+			if v == Threaded && st.CmplThreaded != 1 {
+				t.Fatalf("threaded completions = %d, want 1", st.CmplThreaded)
+			}
+			if v == Inline && st.CmplInline != 1 {
+				t.Fatalf("inline completions = %d, want 1", st.CmplInline)
+			}
+		})
+	}
+}
+
+func TestThreadedCompletionCostsContextSwitch(t *testing.T) {
+	// The same Amsend must complete measurably later under the Threaded
+	// regime, by at least the thread context-switch cost.
+	done := func(v Variant) sim.Time {
+		r := newRig(t, 2, 1, v, nil)
+		buf := make([]byte, 64)
+		var doneAt sim.Time
+		hid := r.ls[1].RegisterHeaderHandler(func(p *sim.Proc, src int, uhdr []byte, dataLen int) ([]byte, CmplHandler, any) {
+			return buf, func(p *sim.Proc, arg any) { doneAt = p.Now() }, nil
+		})
+		_ = hid
+		r.ls[0].RegisterHeaderHandler(nil)
+		tgtC := r.ls[1].NewCounter()
+		tgtID := r.ls[1].RegisterCounter(tgtC)
+		r.ls[0].RegisterCounter(r.ls[0].NewCounter())
+		r.eng.Spawn("origin", func(p *sim.Proc) {
+			r.ls[0].Amsend(p, 1, 0, nil, pattern(32, 1), tgtID, nil, -1)
+		})
+		r.eng.Spawn("target", func(p *sim.Proc) { tgtC.Wait(p, 1) })
+		r.eng.Run(sim.Second)
+		return doneAt
+	}
+	dThreaded, dInline := done(Threaded), done(Inline)
+	par := machine.SP332()
+	if dThreaded-dInline < par.ThreadContextSwitch-par.InlineHandlerOverhead {
+		t.Fatalf("threaded=%v inline=%v: threaded must pay the context switch (%v)",
+			dThreaded, dInline, par.ThreadContextSwitch)
+	}
+}
+
+func TestGetReadsRemoteBuffer(t *testing.T) {
+	r := newRig(t, 2, 1, Inline, nil)
+	src := pattern(5000, 7)
+	bufID := r.ls[1].RegisterBuffer(src)
+	org := r.ls[0].NewCounter()
+	local := make([]byte, 2000)
+	r.eng.Spawn("origin", func(p *sim.Proc) {
+		r.ls[0].Get(p, 1, bufID, 1000, local, -1, org)
+		org.Wait(p, 1)
+	})
+	r.eng.Spawn("target", func(p *sim.Proc) {
+		// The target must poll for the request to be served in polling mode.
+		r.ls[1].HAL().ProgressWait(p, func() bool { return r.ls[1].Stats().MsgsCompleted >= 1 })
+	})
+	r.eng.Run(sim.Second)
+	if !bytes.Equal(local, src[1000:3000]) {
+		t.Fatal("Get returned wrong bytes")
+	}
+}
+
+func TestRmwOps(t *testing.T) {
+	r := newRig(t, 2, 1, Inline, nil)
+	v := int64(10)
+	varID := r.ls[1].RegisterRmwVar(&v)
+	var got []int64
+	r.eng.Spawn("origin", func(p *sim.Proc) {
+		got = append(got, r.ls[0].Rmw(p, 1, varID, RmwFetchAdd, 5))              // 10 -> 15
+		got = append(got, r.ls[0].Rmw(p, 1, varID, RmwFetchOr, 16))              // 15 -> 31
+		got = append(got, r.ls[0].Rmw(p, 1, varID, RmwSwap, 100))                // 31 -> 100
+		got = append(got, r.ls[0].Rmw(p, 1, varID, RmwCompareSwap, (100<<32)|7)) // 100 -> 7
+		got = append(got, r.ls[0].Rmw(p, 1, varID, RmwCompareSwap, (100<<32)|9)) // no swap
+	})
+	r.eng.Spawn("target", func(p *sim.Proc) {
+		r.ls[1].HAL().ProgressWait(p, func() bool { return len(got) == 5 })
+	})
+	r.eng.Run(sim.Second)
+	want := []int64{10, 15, 31, 100, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rmw prev values = %v, want %v", got, want)
+		}
+	}
+	if v != 7 {
+		t.Fatalf("final value = %d, want 7 (second CAS must fail)", v)
+	}
+}
+
+func TestAmsendSurvivesLossDupReorder(t *testing.T) {
+	r := newRig(t, 2, 77, Inline, func(p *machine.Params) {
+		p.DropProb = 0.08
+		p.DupProb = 0.05
+		p.RouteSkew = 20 * sim.Microsecond
+		p.RetransmitTimeout = 400 * sim.Microsecond
+	})
+	const nmsg = 20
+	bufs := make([][]byte, nmsg)
+	doneCnt := r.ls[1].NewCounter()
+	r.ls[1].RegisterHeaderHandler(func(p *sim.Proc, src int, uhdr []byte, dataLen int) ([]byte, CmplHandler, any) {
+		i := int(uhdr[0])
+		bufs[i] = make([]byte, dataLen)
+		return bufs[i], func(p *sim.Proc, arg any) { doneCnt.add(1) }, nil
+	})
+	r.ls[0].RegisterHeaderHandler(nil)
+	msgs := make([][]byte, nmsg)
+	r.eng.Spawn("origin", func(p *sim.Proc) {
+		for i := 0; i < nmsg; i++ {
+			msgs[i] = pattern(100+i*517, byte(i))
+			r.ls[0].Amsend(p, 1, 0, []byte{byte(i)}, msgs[i], -1, nil, -1)
+		}
+		r.ls[0].Fence(p, 1)
+	})
+	r.eng.Spawn("target", func(p *sim.Proc) { doneCnt.Wait(p, nmsg) })
+	r.eng.Run(60 * sim.Second)
+	for i := 0; i < nmsg; i++ {
+		if !bytes.Equal(bufs[i], msgs[i]) {
+			t.Fatalf("message %d corrupted under loss/dup/reorder", i)
+		}
+	}
+	if r.ls[0].Stats().Retransmits == 0 {
+		t.Fatal("expected retransmissions under 8% loss")
+	}
+	if !r.ls[0].Drained() {
+		t.Fatal("flows not drained after fence")
+	}
+}
+
+func TestDataBeforeHeaderStashed(t *testing.T) {
+	// Large route skew makes later packets (different route) overtake the
+	// header packet; the stash path must reassemble correctly.
+	r := newRig(t, 2, 3, Inline, func(p *machine.Params) {
+		p.RouteSkew = 60 * sim.Microsecond
+	})
+	bufs := map[byte][]byte{}
+	done := 0
+	r.ls[1].RegisterHeaderHandler(func(p *sim.Proc, src int, uhdr []byte, dataLen int) ([]byte, CmplHandler, any) {
+		b := make([]byte, dataLen)
+		bufs[uhdr[0]] = b
+		return b, func(p *sim.Proc, arg any) { done++ }, nil
+	})
+	r.ls[0].RegisterHeaderHandler(nil)
+	msg := pattern(16*1024, 3)
+	r.eng.Spawn("origin", func(p *sim.Proc) {
+		// Warmup message rotates the round-robin route pointer so the big
+		// message's header packet takes a slow route and its data packets
+		// (faster routes) overtake it.
+		r.ls[0].Amsend(p, 1, 0, []byte{0}, []byte{1}, -1, nil, -1)
+		r.ls[0].Amsend(p, 1, 0, []byte{1}, msg, -1, nil, -1)
+	})
+	r.eng.Spawn("target", func(p *sim.Proc) {
+		r.ls[1].HAL().ProgressWait(p, func() bool { return done == 2 })
+	})
+	r.eng.Run(10 * sim.Second)
+	if done != 2 || !bytes.Equal(bufs[1], msg) {
+		t.Fatal("reassembly with pre-header data packets failed")
+	}
+	if r.ls[1].Stats().StashedPackets == 0 {
+		t.Fatal("expected stashed packets with 60us route skew")
+	}
+}
+
+func TestHeaderHandlerMayNotCallLAPI(t *testing.T) {
+	r := newRig(t, 2, 1, Inline, nil)
+	r.ls[1].RegisterHeaderHandler(func(p *sim.Proc, src int, uhdr []byte, dataLen int) ([]byte, CmplHandler, any) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Amsend from header handler must panic")
+			}
+		}()
+		r.ls[1].Amsend(p, 0, 0, nil, nil, -1, nil, -1)
+		return nil, nil, nil
+	})
+	r.ls[0].RegisterHeaderHandler(nil)
+	handled := false
+	r.eng.Spawn("origin", func(p *sim.Proc) { r.ls[0].Amsend(p, 1, 0, nil, []byte{1}, -1, nil, -1) })
+	r.eng.Spawn("target", func(p *sim.Proc) {
+		r.ls[1].HAL().ProgressWait(p, func() bool { return r.ls[1].Stats().HdrHandlers > 0 })
+		handled = true
+	})
+	r.eng.Run(sim.Second)
+	if !handled {
+		t.Fatal("message never handled")
+	}
+}
+
+func TestLoopbackSelfSend(t *testing.T) {
+	r := newRig(t, 2, 1, Inline, nil)
+	buf := make([]byte, 100)
+	done := false
+	r.ls[0].RegisterHeaderHandler(func(p *sim.Proc, src int, uhdr []byte, dataLen int) ([]byte, CmplHandler, any) {
+		if src != 0 {
+			t.Errorf("loopback src = %d", src)
+		}
+		return buf, func(p *sim.Proc, arg any) { done = true }, nil
+	})
+	msg := pattern(100, 8)
+	r.eng.Spawn("self", func(p *sim.Proc) {
+		r.ls[0].Amsend(p, 0, 0, nil, msg, -1, nil, -1)
+	})
+	r.eng.Run(sim.Second)
+	if !done || !bytes.Equal(buf, msg) {
+		t.Fatal("loopback failed")
+	}
+}
+
+func TestWaitcntrDecrements(t *testing.T) {
+	r := newRig(t, 1, 1, Inline, nil)
+	c := r.ls[0].NewCounter()
+	r.eng.Spawn("w", func(p *sim.Proc) {
+		c.Set(5)
+		c.Wait(p, 3)
+		if c.Value() != 2 {
+			t.Errorf("counter = %d after Wait(3) from 5, want 2", c.Value())
+		}
+	})
+	r.eng.Run(sim.Second)
+}
+
+// Property: any batch of Amsends with arbitrary sizes arrives intact under a
+// lossy, reordering fabric, in all variants.
+func TestAmsendProperty(t *testing.T) {
+	prop := func(sizesRaw []uint16, seed int64, inline bool) bool {
+		if len(sizesRaw) == 0 || len(sizesRaw) > 6 {
+			return true
+		}
+		v := Threaded
+		if inline {
+			v = Inline
+		}
+		r := newRig(t, 2, seed, v, func(p *machine.Params) {
+			p.DropProb = 0.04
+			p.RouteSkew = 10 * sim.Microsecond
+			p.RetransmitTimeout = 400 * sim.Microsecond
+		})
+		n := len(sizesRaw)
+		bufs := make([][]byte, n)
+		cnt := r.ls[1].NewCounter()
+		r.ls[1].RegisterHeaderHandler(func(p *sim.Proc, src int, uhdr []byte, dataLen int) ([]byte, CmplHandler, any) {
+			i := int(uhdr[0])
+			bufs[i] = make([]byte, dataLen)
+			return bufs[i], func(p *sim.Proc, arg any) { cnt.add(1) }, nil
+		})
+		r.ls[0].RegisterHeaderHandler(nil)
+		msgs := make([][]byte, n)
+		r.eng.Spawn("origin", func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				msgs[i] = pattern(int(sizesRaw[i])%20000+1, byte(i))
+				r.ls[0].Amsend(p, 1, 0, []byte{byte(i)}, msgs[i], -1, nil, -1)
+			}
+			r.ls[0].Fence(p, 1)
+		})
+		r.eng.Spawn("target", func(p *sim.Proc) { cnt.Wait(p, n) })
+		r.eng.Run(120 * sim.Second)
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(bufs[i], msgs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQenvSenv(t *testing.T) {
+	r := newRig(t, 3, 1, Inline, nil)
+	l := r.ls[2]
+	if l.Qenv(EnvTaskID) != 2 || l.Qenv(EnvNumTasks) != 3 {
+		t.Fatalf("identity: task=%d num=%d", l.Qenv(EnvTaskID), l.Qenv(EnvNumTasks))
+	}
+	if l.Qenv(EnvInterruptSet) != 0 {
+		t.Fatal("interrupts should start disabled")
+	}
+	l.Senv(EnvInterruptSet, 1)
+	if l.Qenv(EnvInterruptSet) != 1 {
+		t.Fatal("Senv(INTERRUPT_SET, 1) did not arm interrupts")
+	}
+	l.Senv(EnvInterruptSet, 0)
+	if l.Qenv(EnvInterruptSet) != 0 {
+		t.Fatal("Senv(INTERRUPT_SET, 0) did not disarm interrupts")
+	}
+	if l.Qenv(EnvMaxUhdrSize) <= 0 {
+		t.Fatal("MAX_UHDR_SZ must be positive")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Senv of a read-only variable must panic")
+		}
+	}()
+	l.Senv(EnvNumTasks, 5)
+}

@@ -1,0 +1,90 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"splapi/internal/sim"
+)
+
+func TestSP332Sanity(t *testing.T) {
+	p := SP332()
+	if p.LinkBytesPerSec <= 0 || p.AdapterBytesPerSec <= 0 {
+		t.Fatal("bandwidths must be positive")
+	}
+	if p.RoutesPerPair != 4 {
+		t.Fatalf("the SP switch has 4 routes per pair, got %d", p.RoutesPerPair)
+	}
+	if p.HeaderBytesLAPI <= p.HeaderBytesNative {
+		t.Fatal("Section 6.1: LAPI headers are larger than native headers")
+	}
+	if p.EagerLimit != 4096 {
+		t.Fatalf("default eager limit is 4096, got %d", p.EagerLimit)
+	}
+	if p.ThreadContextSwitch <= p.InlineHandlerOverhead {
+		t.Fatal("the threaded completion path must cost more than the inline one")
+	}
+	if p.NativeHysteresisDwell <= 0 {
+		t.Fatal("the native interrupt handler must have a hysteresis dwell")
+	}
+}
+
+func TestCopyCost(t *testing.T) {
+	p := SP332()
+	if p.CopyCost(0) != 0 || p.CopyCost(-5) != 0 {
+		t.Fatal("non-positive sizes cost nothing")
+	}
+	c1 := p.CopyCost(1000)
+	c2 := p.CopyCost(2000)
+	if c2 != 2*c1 {
+		t.Fatalf("copy cost must be linear: %v vs %v", c1, c2)
+	}
+}
+
+func TestWireTimeMatchesBandwidth(t *testing.T) {
+	p := SP332()
+	// 150 MB/s -> 1 MB takes 1/150 s.
+	got := p.WireTime(1e6)
+	want := sim.Time(1e9) / 150
+	if got < want-sim.Microsecond || got > want+sim.Microsecond {
+		t.Fatalf("WireTime(1MB) = %v, want about %v", got, want)
+	}
+}
+
+func TestPacketsFor(t *testing.T) {
+	p := SP332()
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {1024, 1}, {1025, 2}, {4096, 4}, {4097, 5},
+	}
+	for _, c := range cases {
+		if got := p.PacketsFor(c.n); got != c.want {
+			t.Errorf("PacketsFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPacketsForProperty(t *testing.T) {
+	p := SP332()
+	prop := func(n uint16) bool {
+		k := p.PacketsFor(int(n))
+		if int(n) == 0 {
+			return k == 1
+		}
+		return (k-1)*p.PacketPayload < int(n) && int(n) <= k*p.PacketPayload
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSP160SlowerThanSP332(t *testing.T) {
+	a, b := SP160(), SP332()
+	if a.MemcpyNsPerByte <= b.MemcpyNsPerByte ||
+		a.PacketDispatch <= b.PacketDispatch ||
+		a.ThreadContextSwitch <= b.ThreadContextSwitch {
+		t.Fatal("the 160 MHz node must have slower software paths than the 332 MHz node")
+	}
+	if a.LinkBytesPerSec != b.LinkBytesPerSec {
+		t.Fatal("both generations share the same switch")
+	}
+}

@@ -1,0 +1,197 @@
+package mpci
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"splapi/internal/sim"
+)
+
+// frameParser turns the in-order byte stream from one source into MPCI
+// frames and routes message bodies to their destinations (user buffer,
+// early-arrival buffer, or rendezvous receive) as the bytes arrive. It runs
+// in dispatcher context.
+type frameParser struct {
+	pr  *NativeProvider
+	src int
+
+	hdr     []byte // accumulating frame header
+	bodyLen int    // body bytes expected for the current frame
+	bodyOff int    // body bytes consumed so far
+
+	// Body destination (exactly one is set while bodyLen > bodyOff).
+	dstReq   *RecvReq // copy straight into a matched receive
+	dstEarly *earlyMsg
+
+	env Envelope // envelope of the frame in progress
+
+	// Frame handling may block (e.g. transmitting rendezvous data on CTS
+	// can stall on the pipe window), and blocking re-enters the
+	// dispatcher. Re-entrant stream bytes queue in pending and are
+	// consumed when the in-progress frame finishes, preserving order.
+	busy    bool
+	pending []byte
+}
+
+func (fp *frameParser) hdrLen() int {
+	n := fp.pr.par.HeaderBytesNative
+	if n < nativeHdrMin {
+		n = nativeHdrMin
+	}
+	return n
+}
+
+// onStream is the Pipes delivery callback for all sources; it dispatches to
+// the per-source parser.
+func (pr *NativeProvider) onStream(p *sim.Proc, src int, data []byte) {
+	pr.parsers[src].feed(p, data)
+}
+
+// feed consumes a chunk of stream bytes; re-entrant calls queue their bytes.
+func (fp *frameParser) feed(p *sim.Proc, data []byte) {
+	if fp.busy {
+		fp.pending = append(fp.pending, data...)
+		return
+	}
+	fp.busy = true
+	for {
+		fp.consume(p, data)
+		if len(fp.pending) == 0 {
+			break
+		}
+		data = fp.pending
+		fp.pending = nil
+	}
+	fp.busy = false
+}
+
+func (fp *frameParser) consume(p *sim.Proc, data []byte) {
+	for len(data) > 0 {
+		if fp.bodyLen > fp.bodyOff {
+			n := min(len(data), fp.bodyLen-fp.bodyOff)
+			fp.body(p, data[:n])
+			fp.bodyOff += n
+			data = data[n:]
+			if fp.bodyOff == fp.bodyLen {
+				fp.endBody(p)
+			}
+			continue
+		}
+		need := fp.hdrLen() - len(fp.hdr)
+		n := min(len(data), need)
+		fp.hdr = append(fp.hdr, data[:n]...)
+		data = data[n:]
+		if len(fp.hdr) == fp.hdrLen() {
+			hdr := append([]byte(nil), fp.hdr...)
+			fp.hdr = fp.hdr[:0]
+			fp.frame(p, hdr)
+		}
+	}
+}
+
+// frame handles a complete frame header.
+func (fp *frameParser) frame(p *sim.Proc, b []byte) {
+	pr := fp.pr
+	kind := b[0]
+	mode := Mode(b[1])
+	ctx := int(int32(binary.BigEndian.Uint32(b[4:8])))
+	tag := int(int32(binary.BigEndian.Uint32(b[8:12])))
+	size := int(binary.BigEndian.Uint32(b[12:16]))
+	reqID := binary.BigEndian.Uint32(b[16:20])
+	auxID := binary.BigEndian.Uint32(b[20:24])
+
+	switch kind {
+	case fEager:
+		fp.env = Envelope{Src: fp.src, Tag: tag, Ctx: ctx, Size: size, Mode: mode}
+		pr.h.ChargeCPU(p, pr.par.MatchCost)
+		if req := pr.core.matchArrival(fp.env); req != nil {
+			pr.stats.Matched++
+			fp.dstReq = req
+		} else {
+			if mode == ModeReady {
+				panic("mpci: ready-mode message arrived with no matching receive posted (fatal per MPI)")
+			}
+			pr.stats.Unexpected++
+			em := &earlyMsg{env: fp.env, data: make([]byte, size)}
+			pr.core.addEarly(em)
+			fp.dstEarly = em
+		}
+		fp.bodyLen, fp.bodyOff = size, 0
+		if size == 0 {
+			fp.endBody(p)
+		}
+
+	case fRTS:
+		env := Envelope{Src: fp.src, Tag: tag, Ctx: ctx, Size: size, Mode: mode}
+		pr.h.ChargeCPU(p, pr.par.MatchCost)
+		if req := pr.core.matchArrival(env); req != nil {
+			pr.stats.Matched++
+			id := uint32(len(pr.recvReqs))
+			pr.recvReqs = append(pr.recvReqs, req)
+			req.pendingEnv = env
+			cts := pr.frame(fCTS, 0, false, 0, 0, 0, reqID, id)
+			pr.enqueueFrame(fp.src, cts, nil)
+		} else {
+			pr.stats.Unexpected++
+			pr.core.addEarly(&earlyMsg{env: env, isRTS: true, rtsSendReq: reqID, rtsBlocking: b[2] == 1})
+		}
+
+	case fCTS:
+		req := pr.sendReqs[reqID]
+		req.acked = true
+		// The native MPCI transmits the body from the dispatcher as soon
+		// as the clear-to-send arrives.
+		pr.sendRdvData(p, req, auxID)
+
+	case fRdvData:
+		req := pr.recvReqs[reqID]
+		fp.env = req.pendingEnv
+		fp.dstReq = req
+		fp.bodyLen, fp.bodyOff = size, 0
+		if size == 0 {
+			fp.endBody(p)
+		}
+
+	default:
+		panic(fmt.Sprintf("mpci: bad native frame kind %d from %d", kind, fp.src))
+	}
+	_ = auxID
+}
+
+// body consumes body bytes for the frame in progress, charging the native
+// copy rule for the byte range.
+func (fp *frameParser) body(p *sim.Proc, data []byte) {
+	pr := fp.pr
+	pr.h.ChargeCPU(p, pr.nativeCopyCost(fp.bodyOff, len(data), fp.bodyLen))
+	switch {
+	case fp.dstReq != nil:
+		copy(fp.dstReq.Buf[fp.bodyOff:], data)
+	case fp.dstEarly != nil:
+		copy(fp.dstEarly.data[fp.bodyOff:], data)
+	}
+}
+
+// endBody finishes the frame: publish completion (deferred to interrupt
+// end under the hysteresis scheme).
+func (fp *frameParser) endBody(p *sim.Proc) {
+	pr := fp.pr
+	env := fp.env
+	switch {
+	case fp.dstReq != nil:
+		req := fp.dstReq
+		pr.stats.BytesRecved += uint64(env.Size)
+		pr.publish(p, func(p *sim.Proc) {
+			req.complete(env.Src, env.Tag, env.Size)
+			pr.h.KickProgress()
+		})
+	case fp.dstEarly != nil:
+		em := fp.dstEarly
+		em.complete = true
+		if em.onComplete != nil {
+			em.onComplete(p)
+		}
+		pr.h.KickProgress()
+	}
+	fp.dstReq, fp.dstEarly = nil, nil
+	fp.bodyLen, fp.bodyOff = 0, 0
+}

@@ -1,0 +1,300 @@
+package mpi
+
+import (
+	"fmt"
+
+	"splapi/internal/mpci"
+	"splapi/internal/sim"
+)
+
+// Collective operations, implemented — as the paper's MPI layer does — by
+// breaking each call into a series of point-to-point messages. All
+// collective traffic travels on the communicator's collective context id,
+// so it never matches user point-to-point receives.
+
+// Internal tags for collective phases.
+const (
+	tagBarrier = 0x7f00 + iota
+	tagBcast
+	tagReduce
+	tagGather
+	tagScatter
+	tagAllgather
+	tagAlltoall
+	tagScan
+)
+
+func (c *Comm) sendC(p *sim.Proc, buf []byte, dst, tag int) {
+	req := c.prov.IsendBlocking(p, c.global(dst), buf, tag, c.cctx, mpci.ModeStandard)
+	c.prov.WaitUntil(p, req.Done)
+}
+
+func (c *Comm) isendC(p *sim.Proc, buf []byte, dst, tag int) *mpci.SendReq {
+	return c.prov.Isend(p, c.global(dst), buf, tag, c.cctx, mpci.ModeStandard)
+}
+
+func (c *Comm) recvC(p *sim.Proc, buf []byte, src, tag int) {
+	req := c.prov.Irecv(p, c.global(src), tag, c.cctx, buf)
+	c.prov.WaitUntil(p, req.Done)
+}
+
+// Barrier blocks until all members arrive (MPI_Barrier), using the
+// dissemination algorithm: ceil(log2 n) rounds of pairwise messages.
+func (c *Comm) Barrier(p *sim.Proc) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	me := c.rank
+	b := []byte{1}
+	rb := make([]byte, 1)
+	for dist := 1; dist < n; dist *= 2 {
+		to := (me + dist) % n
+		from := (me - dist + n) % n
+		rreq := c.prov.Irecv(p, c.global(from), tagBarrier+dist, c.cctx, rb)
+		c.sendC(p, b, to, tagBarrier+dist)
+		c.prov.WaitUntil(p, rreq.Done)
+	}
+}
+
+// Bcast broadcasts buf from root to all members (MPI_Bcast) along a
+// binomial tree rooted at root.
+func (c *Comm) Bcast(p *sim.Proc, buf []byte, root int) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	vrank := (c.rank - root + n) % n
+	// Receive from parent.
+	if vrank != 0 {
+		parent := (vrank&(vrank-1) + root) % n
+		c.recvC(p, buf, parent, tagBcast)
+	}
+	// Forward to children: vrank + 2^k for each k with 2^k > lowbit(vrank).
+	for dist := 1; dist < n; dist *= 2 {
+		if vrank&(dist-1) != 0 || vrank&dist != 0 {
+			continue
+		}
+		child := vrank + dist
+		if child >= n {
+			break
+		}
+		c.sendC(p, buf, (child+root)%n, tagBcast)
+	}
+}
+
+// Reduce combines sendBuf from every member with op into recvBuf at root
+// (MPI_Reduce). recvBuf may be nil on non-root ranks.
+func (c *Comm) Reduce(p *sim.Proc, sendBuf, recvBuf []byte, dt Datatype, op ReduceOp, root int) {
+	n := c.Size()
+	if c.rank == root && len(recvBuf) < len(sendBuf) {
+		panic("mpi: Reduce recv buffer too small")
+	}
+	acc := append([]byte(nil), sendBuf...)
+	vrank := (c.rank - root + n) % n
+	// Binomial-tree reduction toward vrank 0.
+	tmp := make([]byte, len(sendBuf))
+	for dist := 1; dist < n; dist *= 2 {
+		if vrank&dist != 0 {
+			parent := (vrank - dist + root) % n
+			c.sendC(p, acc, parent, tagReduce)
+			acc = nil
+			break
+		}
+		peer := vrank + dist
+		if peer >= n {
+			continue
+		}
+		c.recvC(p, tmp, (peer+root)%n, tagReduce)
+		applyOp(op, dt, acc, tmp)
+	}
+	if c.rank == root {
+		copy(recvBuf, acc)
+	}
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast (MPI_Allreduce).
+func (c *Comm) Allreduce(p *sim.Proc, sendBuf, recvBuf []byte, dt Datatype, op ReduceOp) {
+	if len(recvBuf) < len(sendBuf) {
+		panic("mpi: Allreduce recv buffer too small")
+	}
+	c.Reduce(p, sendBuf, recvBuf, dt, op, 0)
+	c.Bcast(p, recvBuf[:len(sendBuf)], 0)
+}
+
+// Gather collects equal-size contributions at root (MPI_Gather). recvBuf
+// must hold Size()*len(sendBuf) bytes at root; it may be nil elsewhere.
+func (c *Comm) Gather(p *sim.Proc, sendBuf, recvBuf []byte, root int) {
+	n := c.Size()
+	bs := len(sendBuf)
+	if c.rank != root {
+		c.sendC(p, sendBuf, root, tagGather)
+		return
+	}
+	if len(recvBuf) < n*bs {
+		panic("mpi: Gather recv buffer too small")
+	}
+	copy(recvBuf[c.rank*bs:], sendBuf)
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		c.recvC(p, recvBuf[r*bs:(r+1)*bs], r, tagGather)
+	}
+}
+
+// Gatherv collects variable-size contributions at root (MPI_Gatherv).
+// counts and displs describe the layout at root.
+func (c *Comm) Gatherv(p *sim.Proc, sendBuf, recvBuf []byte, counts, displs []int, root int) {
+	n := c.Size()
+	if c.rank != root {
+		c.sendC(p, sendBuf, root, tagGather)
+		return
+	}
+	copy(recvBuf[displs[root]:displs[root]+counts[root]], sendBuf)
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		c.recvC(p, recvBuf[displs[r]:displs[r]+counts[r]], r, tagGather)
+	}
+}
+
+// Scatter distributes equal slices of sendBuf from root (MPI_Scatter).
+func (c *Comm) Scatter(p *sim.Proc, sendBuf, recvBuf []byte, root int) {
+	n := c.Size()
+	bs := len(recvBuf)
+	if c.rank != root {
+		c.recvC(p, recvBuf, root, tagScatter)
+		return
+	}
+	if len(sendBuf) < n*bs {
+		panic("mpi: Scatter send buffer too small")
+	}
+	for r := 0; r < n; r++ {
+		if r == root {
+			copy(recvBuf, sendBuf[r*bs:(r+1)*bs])
+			continue
+		}
+		c.sendC(p, sendBuf[r*bs:(r+1)*bs], r, tagScatter)
+	}
+}
+
+// Scatterv distributes variable slices from root (MPI_Scatterv).
+func (c *Comm) Scatterv(p *sim.Proc, sendBuf []byte, counts, displs []int, recvBuf []byte, root int) {
+	n := c.Size()
+	if c.rank != root {
+		c.recvC(p, recvBuf, root, tagScatter)
+		return
+	}
+	for r := 0; r < n; r++ {
+		piece := sendBuf[displs[r] : displs[r]+counts[r]]
+		if r == root {
+			copy(recvBuf, piece)
+			continue
+		}
+		c.sendC(p, piece, r, tagScatter)
+	}
+}
+
+// Allgather gathers equal contributions to every member (MPI_Allgather),
+// using the ring algorithm: n-1 steps, each passing a block around.
+func (c *Comm) Allgather(p *sim.Proc, sendBuf, recvBuf []byte) {
+	n := c.Size()
+	bs := len(sendBuf)
+	if len(recvBuf) < n*bs {
+		panic("mpi: Allgather recv buffer too small")
+	}
+	copy(recvBuf[c.rank*bs:], sendBuf)
+	if n == 1 {
+		return
+	}
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+	for step := 0; step < n-1; step++ {
+		sendBlock := (c.rank - step + n) % n
+		recvBlock := (c.rank - step - 1 + n) % n
+		c.Sendrecv(p,
+			recvBuf[sendBlock*bs:(sendBlock+1)*bs], right, tagAllgather,
+			recvBuf[recvBlock*bs:(recvBlock+1)*bs], left, tagAllgather)
+	}
+}
+
+// Allgatherv gathers variable contributions to every member
+// (MPI_Allgatherv).
+func (c *Comm) Allgatherv(p *sim.Proc, sendBuf, recvBuf []byte, counts, displs []int) {
+	n := c.Size()
+	copy(recvBuf[displs[c.rank]:displs[c.rank]+counts[c.rank]], sendBuf)
+	if n == 1 {
+		return
+	}
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+	for step := 0; step < n-1; step++ {
+		sendBlock := (c.rank - step + n) % n
+		recvBlock := (c.rank - step - 1 + n) % n
+		c.Sendrecv(p,
+			recvBuf[displs[sendBlock]:displs[sendBlock]+counts[sendBlock]], right, tagAllgather,
+			recvBuf[displs[recvBlock]:displs[recvBlock]+counts[recvBlock]], left, tagAllgather)
+	}
+}
+
+// Alltoall exchanges equal blocks between all pairs (MPI_Alltoall).
+// sendBuf and recvBuf hold Size() blocks of blockSize bytes each.
+func (c *Comm) Alltoall(p *sim.Proc, sendBuf, recvBuf []byte, blockSize int) {
+	n := c.Size()
+	if len(sendBuf) < n*blockSize || len(recvBuf) < n*blockSize {
+		panic(fmt.Sprintf("mpi: Alltoall buffers too small for %d blocks of %d", n, blockSize))
+	}
+	copy(recvBuf[c.rank*blockSize:(c.rank+1)*blockSize], sendBuf[c.rank*blockSize:(c.rank+1)*blockSize])
+	// Pairwise exchange: at step s, talk to rank^s when n is a power of
+	// two, else the shifted pattern.
+	for step := 1; step < n; step++ {
+		var peer int
+		if n&(n-1) == 0 {
+			peer = c.rank ^ step
+		} else {
+			peer = (c.rank + step) % n
+		}
+		recvPeer := peer
+		if n&(n-1) != 0 {
+			recvPeer = (c.rank - step + n) % n
+		}
+		rreq := c.prov.Irecv(p, c.global(recvPeer), tagAlltoall+step, c.cctx, recvBuf[recvPeer*blockSize:(recvPeer+1)*blockSize])
+		sreq := c.isendC(p, sendBuf[peer*blockSize:(peer+1)*blockSize], peer, tagAlltoall+step)
+		c.prov.WaitUntil(p, func() bool { return rreq.Done() && sreq.Done() })
+	}
+}
+
+// Alltoallv exchanges variable blocks between all pairs (MPI_Alltoallv).
+func (c *Comm) Alltoallv(p *sim.Proc, sendBuf []byte, sendCounts, sendDispls []int, recvBuf []byte, recvCounts, recvDispls []int) {
+	n := c.Size()
+	copy(recvBuf[recvDispls[c.rank]:recvDispls[c.rank]+recvCounts[c.rank]],
+		sendBuf[sendDispls[c.rank]:sendDispls[c.rank]+sendCounts[c.rank]])
+	for step := 1; step < n; step++ {
+		sendPeer := (c.rank + step) % n
+		recvPeer := (c.rank - step + n) % n
+		rreq := c.prov.Irecv(p, c.global(recvPeer), tagAlltoall+step, c.cctx,
+			recvBuf[recvDispls[recvPeer]:recvDispls[recvPeer]+recvCounts[recvPeer]])
+		sreq := c.isendC(p, sendBuf[sendDispls[sendPeer]:sendDispls[sendPeer]+sendCounts[sendPeer]], sendPeer, tagAlltoall+step)
+		c.prov.WaitUntil(p, func() bool { return rreq.Done() && sreq.Done() })
+	}
+}
+
+// Scan computes the inclusive prefix reduction (MPI_Scan): rank r receives
+// op(sendBuf_0, ..., sendBuf_r).
+func (c *Comm) Scan(p *sim.Proc, sendBuf, recvBuf []byte, dt Datatype, op ReduceOp) {
+	copy(recvBuf, sendBuf)
+	if c.rank > 0 {
+		tmp := make([]byte, len(sendBuf))
+		c.recvC(p, tmp, c.rank-1, tagScan)
+		// recvBuf = op(prefix, mine): order matters for non-commutative
+		// ops; prefix comes first.
+		prefix := append([]byte(nil), tmp...)
+		applyOp(op, dt, prefix, sendBuf)
+		copy(recvBuf, prefix)
+	}
+	if c.rank < c.Size()-1 {
+		c.sendC(p, recvBuf[:len(sendBuf)], c.rank+1, tagScan)
+	}
+}

@@ -1,0 +1,150 @@
+package mpi_test
+
+import (
+	"bytes"
+	"testing"
+
+	"splapi/internal/cluster"
+	"splapi/internal/machine"
+	"splapi/internal/mpi"
+	"splapi/internal/sim"
+)
+
+func TestGathervScatterv(t *testing.T) {
+	forStacks(t, func(t *testing.T, stack cluster.Stack) {
+		const n = 4
+		c := build(t, stack, n, 31)
+		var gathered []byte
+		scattered := make([][]byte, n)
+		counts := []int{1, 3, 2, 4}
+		displs := []int{0, 2, 6, 9} // with gaps
+		total := 13
+		runWorld(t, c, func(p *sim.Proc, w *mpi.Comm) {
+			r := w.Rank()
+			mine := make([]byte, counts[r])
+			for i := range mine {
+				mine[i] = byte(r*10 + i)
+			}
+			var rb []byte
+			if r == 0 {
+				rb = make([]byte, total)
+			}
+			w.Gatherv(p, mine, rb, counts, displs, 0)
+			if r == 0 {
+				gathered = rb
+			}
+			// Scatterv the same layout back out from rank 3.
+			var sb []byte
+			if r == 3 {
+				sb = make([]byte, total)
+				for i := range sb {
+					sb[i] = byte(100 + i)
+				}
+			}
+			out := make([]byte, counts[r])
+			w.Scatterv(p, sb, counts, displs, out, 3)
+			scattered[r] = out
+		})
+		for r := 0; r < n; r++ {
+			for i := 0; i < counts[r]; i++ {
+				if gathered[displs[r]+i] != byte(r*10+i) {
+					t.Fatalf("gatherv rank %d byte %d wrong: %v", r, i, gathered)
+				}
+				if scattered[r][i] != byte(100+displs[r]+i) {
+					t.Fatalf("scatterv rank %d byte %d = %d", r, i, scattered[r][i])
+				}
+			}
+		}
+	})
+}
+
+func TestAllgatherv(t *testing.T) {
+	const n = 3
+	c := build(t, cluster.LAPIEnhanced, n, 32)
+	counts := []int{2, 4, 3}
+	displs := []int{0, 2, 6}
+	results := make([][]byte, n)
+	runWorld(t, c, func(p *sim.Proc, w *mpi.Comm) {
+		r := w.Rank()
+		mine := make([]byte, counts[r])
+		for i := range mine {
+			mine[i] = byte(r*16 + i)
+		}
+		rb := make([]byte, 9)
+		w.Allgatherv(p, mine, rb, counts, displs)
+		results[r] = rb
+	})
+	var want []byte
+	for r := 0; r < n; r++ {
+		for i := 0; i < counts[r]; i++ {
+			want = append(want, byte(r*16+i))
+		}
+	}
+	for r := 0; r < n; r++ {
+		if !bytes.Equal(results[r], want) {
+			t.Fatalf("rank %d allgatherv = %v, want %v", r, results[r], want)
+		}
+	}
+}
+
+func TestScanNonUniformValues(t *testing.T) {
+	// Prefix-max: checks Scan handles non-commutative-looking compositions
+	// correctly by position.
+	const n = 5
+	c := build(t, cluster.Native, n, 33)
+	vals := []int64{3, 9, 1, 9, 4}
+	got := make([]int64, n)
+	runWorld(t, c, func(p *sim.Proc, w *mpi.Comm) {
+		out := make([]byte, 8)
+		w.Scan(p, mpi.Int64Slice([]int64{vals[w.Rank()]}), out, mpi.Int64, mpi.OpMax)
+		res := make([]int64, 1)
+		mpi.PutInt64Slice(res, out)
+		got[w.Rank()] = res[0]
+	})
+	want := []int64{3, 9, 9, 9, 9}
+	for r := range want {
+		if got[r] != want[r] {
+			t.Fatalf("prefix-max = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCollectivesUnderLoss(t *testing.T) {
+	// End-to-end: Allreduce + Alltoall must survive a lossy fabric.
+	par := paperLossy()
+	c := cluster.New(cluster.Config{Nodes: 4, Stack: cluster.LAPIEnhanced, Seed: 77, Params: &par})
+	sums := make([]float64, 4)
+	runWorld(t, c, func(p *sim.Proc, w *mpi.Comm) {
+		out := make([]byte, 8)
+		w.Allreduce(p, mpi.Float64Slice([]float64{float64(w.Rank() + 1)}), out, mpi.Float64, mpi.OpSum)
+		res := make([]float64, 1)
+		mpi.PutFloat64Slice(res, out)
+		sums[w.Rank()] = res[0]
+
+		sb := make([]byte, 4*100)
+		for i := range sb {
+			sb[i] = byte(w.Rank())
+		}
+		rb := make([]byte, 4*100)
+		w.Alltoall(p, sb, rb, 100)
+		for blk := 0; blk < 4; blk++ {
+			if rb[blk*100] != byte(blk) {
+				panic("alltoall corrupted under loss")
+			}
+		}
+	})
+	for r, s := range sums {
+		if s != 10 {
+			t.Fatalf("rank %d allreduce under loss = %v", r, s)
+		}
+	}
+}
+
+// paperLossy is the paper's settings plus fault injection.
+func paperLossy() machine.Params {
+	par := machine.SP332()
+	par.EagerLimit = 78
+	par.DropProb = 0.05
+	par.RetransmitTimeout = 400 * sim.Microsecond
+	return par
+}

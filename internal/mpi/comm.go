@@ -1,0 +1,406 @@
+// Package mpi implements the MPI semantics layer over an MPCI provider: the
+// four communication modes (standard, synchronous, buffered, ready) in
+// blocking and nonblocking forms, communicators with dup/split, wildcards,
+// probe, collectives built from point-to-point messages, and derived
+// datatypes (the paper's stated future work, implemented as an extension).
+//
+// Fatal MPI errors (ready-mode with no posted receive, truncation, buffer
+// exhaustion) terminate the job with a panic, matching the paper's
+// "Error_handler(fatal)" behaviour.
+package mpi
+
+import (
+	"fmt"
+
+	"splapi/internal/mpci"
+	"splapi/internal/sim"
+)
+
+// Wildcards, re-exported for callers.
+const (
+	AnySource = mpci.AnySource
+	AnyTag    = mpci.AnyTag
+)
+
+// Status reports a completed receive in communicator ranks.
+type Status struct {
+	Source int
+	Tag    int
+	Count  int
+}
+
+// Comm is an MPI communicator.
+type Comm struct {
+	prov  mpci.Provider
+	group []int // provider rank of each communicator rank
+	rank  int   // this task's rank within the communicator
+	ctx   int   // context id for point-to-point traffic
+	cctx  int   // context id for collective traffic
+	world *worldState
+}
+
+// worldState is shared by all communicators of one task.
+type worldState struct {
+	nextCtx int
+}
+
+// NewWorld returns this task's MPI_COMM_WORLD over prov.
+func NewWorld(prov mpci.Provider) *Comm {
+	group := make([]int, prov.Size())
+	for i := range group {
+		group[i] = i
+	}
+	return &Comm{
+		prov:  prov,
+		group: group,
+		rank:  prov.Rank(),
+		ctx:   0,
+		cctx:  1,
+		world: &worldState{nextCtx: 2},
+	}
+}
+
+// Rank returns the calling task's rank in this communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of tasks in this communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// Provider returns the underlying MPCI provider.
+func (c *Comm) Provider() mpci.Provider { return c.prov }
+
+// global translates a communicator rank to a provider rank.
+func (c *Comm) global(rank int) int {
+	if rank == AnySource {
+		return AnySource
+	}
+	if rank < 0 || rank >= len(c.group) {
+		panic(fmt.Sprintf("mpi: rank %d out of range for communicator of size %d", rank, len(c.group)))
+	}
+	return c.group[rank]
+}
+
+// local translates a provider rank back to a communicator rank.
+func (c *Comm) local(prank int) int {
+	for i, g := range c.group {
+		if g == prank {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("mpi: provider rank %d not in communicator", prank))
+}
+
+func (c *Comm) status(st mpci.Status) Status {
+	return Status{Source: c.local(st.Src), Tag: st.Tag, Count: st.Count}
+}
+
+// Request is a nonblocking operation handle.
+type Request struct {
+	c *Comm
+	s *mpci.SendReq
+	r *mpci.RecvReq
+}
+
+func (r *Request) done() bool {
+	if r.s != nil {
+		return r.s.Done()
+	}
+	return r.r.Done()
+}
+
+// Wait blocks until the request completes (MPI_Wait).
+func (r *Request) Wait(p *sim.Proc) Status {
+	r.c.prov.WaitUntil(p, r.done)
+	return r.statusNow()
+}
+
+// Test reports whether the request has completed, driving progress once
+// (MPI_Test).
+func (r *Request) Test(p *sim.Proc) (Status, bool) {
+	if !r.done() {
+		progressOnce(r.c, p)
+	}
+	if !r.done() {
+		return Status{}, false
+	}
+	return r.statusNow(), true
+}
+
+// progressOnce drives one nonblocking dispatcher pass: the predicate
+// reports false exactly once, so WaitUntil polls the FIFO a single time
+// and returns without parking.
+func progressOnce(c *Comm, p *sim.Proc) {
+	first := true
+	c.prov.WaitUntil(p, func() bool {
+		if first {
+			first = false
+			return false
+		}
+		return true
+	})
+}
+
+func (r *Request) statusNow() Status {
+	if r.r != nil {
+		return r.c.status(r.r.Status())
+	}
+	return Status{}
+}
+
+// WaitAll blocks until every request completes (MPI_Waitall).
+func WaitAll(p *sim.Proc, reqs ...*Request) []Status {
+	if len(reqs) == 0 {
+		return nil
+	}
+	reqs[0].c.prov.WaitUntil(p, func() bool {
+		for _, r := range reqs {
+			if !r.done() {
+				return false
+			}
+		}
+		return true
+	})
+	sts := make([]Status, len(reqs))
+	for i, r := range reqs {
+		sts[i] = r.statusNow()
+	}
+	return sts
+}
+
+// WaitAny blocks until at least one request completes and returns its index
+// (MPI_Waitany).
+func WaitAny(p *sim.Proc, reqs ...*Request) (int, Status) {
+	if len(reqs) == 0 {
+		panic("mpi: WaitAny with no requests")
+	}
+	idx := -1
+	reqs[0].c.prov.WaitUntil(p, func() bool {
+		for i, r := range reqs {
+			if r.done() {
+				idx = i
+				return true
+			}
+		}
+		return false
+	})
+	return idx, reqs[idx].statusNow()
+}
+
+// ---- Point-to-point, all four modes ----
+
+func (c *Comm) isend(p *sim.Proc, buf []byte, dst, tag int, mode mpci.Mode, blocking bool) *Request {
+	var sreq *mpci.SendReq
+	if blocking {
+		sreq = c.prov.IsendBlocking(p, c.global(dst), buf, tag, c.ctx, mode)
+	} else {
+		sreq = c.prov.Isend(p, c.global(dst), buf, tag, c.ctx, mode)
+	}
+	return &Request{c: c, s: sreq}
+}
+
+// Send is the blocking standard-mode send (MPI_Send).
+func (c *Comm) Send(p *sim.Proc, buf []byte, dst, tag int) {
+	c.isend(p, buf, dst, tag, mpci.ModeStandard, true).Wait(p)
+}
+
+// Ssend is the blocking synchronous-mode send (MPI_Ssend).
+func (c *Comm) Ssend(p *sim.Proc, buf []byte, dst, tag int) {
+	c.isend(p, buf, dst, tag, mpci.ModeSync, true).Wait(p)
+}
+
+// Rsend is the blocking ready-mode send (MPI_Rsend).
+func (c *Comm) Rsend(p *sim.Proc, buf []byte, dst, tag int) {
+	c.isend(p, buf, dst, tag, mpci.ModeReady, true).Wait(p)
+}
+
+// Bsend is the blocking buffered-mode send (MPI_Bsend).
+func (c *Comm) Bsend(p *sim.Proc, buf []byte, dst, tag int) {
+	c.isend(p, buf, dst, tag, mpci.ModeBuffered, true).Wait(p)
+}
+
+// Isend is the nonblocking standard-mode send (MPI_Isend).
+func (c *Comm) Isend(p *sim.Proc, buf []byte, dst, tag int) *Request {
+	return c.isend(p, buf, dst, tag, mpci.ModeStandard, false)
+}
+
+// Issend is the nonblocking synchronous-mode send (MPI_Issend).
+func (c *Comm) Issend(p *sim.Proc, buf []byte, dst, tag int) *Request {
+	return c.isend(p, buf, dst, tag, mpci.ModeSync, false)
+}
+
+// Irsend is the nonblocking ready-mode send (MPI_Irsend).
+func (c *Comm) Irsend(p *sim.Proc, buf []byte, dst, tag int) *Request {
+	return c.isend(p, buf, dst, tag, mpci.ModeReady, false)
+}
+
+// Ibsend is the nonblocking buffered-mode send (MPI_Ibsend).
+func (c *Comm) Ibsend(p *sim.Proc, buf []byte, dst, tag int) *Request {
+	return c.isend(p, buf, dst, tag, mpci.ModeBuffered, false)
+}
+
+// Irecv posts a nonblocking receive (MPI_Irecv).
+func (c *Comm) Irecv(p *sim.Proc, buf []byte, src, tag int) *Request {
+	rreq := c.prov.Irecv(p, c.global(src), tag, c.ctx, buf)
+	return &Request{c: c, r: rreq}
+}
+
+// Recv is the blocking receive (MPI_Recv).
+func (c *Comm) Recv(p *sim.Proc, buf []byte, src, tag int) Status {
+	return c.Irecv(p, buf, src, tag).Wait(p)
+}
+
+// Sendrecv performs a simultaneous send and receive (MPI_Sendrecv).
+func (c *Comm) Sendrecv(p *sim.Proc, sendBuf []byte, dst, sendTag int, recvBuf []byte, src, recvTag int) Status {
+	rreq := c.Irecv(p, recvBuf, src, recvTag)
+	sreq := c.Isend(p, sendBuf, dst, sendTag)
+	WaitAll(p, sreq, rreq)
+	return rreq.statusNow()
+}
+
+// Probe blocks until a matching message is available (MPI_Probe).
+func (c *Comm) Probe(p *sim.Proc, src, tag int) Status {
+	var env mpci.Envelope
+	c.prov.WaitUntil(p, func() bool {
+		e, ok := c.prov.Iprobe(p, c.global(src), tag, c.ctx)
+		if ok {
+			env = e
+		}
+		return ok
+	})
+	return Status{Source: c.local(env.Src), Tag: env.Tag, Count: env.Size}
+}
+
+// Iprobe reports whether a matching message is available (MPI_Iprobe).
+func (c *Comm) Iprobe(p *sim.Proc, src, tag int) (Status, bool) {
+	env, ok := c.prov.Iprobe(p, c.global(src), tag, c.ctx)
+	if !ok {
+		return Status{}, false
+	}
+	return Status{Source: c.local(env.Src), Tag: env.Tag, Count: env.Size}, true
+}
+
+// BufferAttach provides buffered-mode staging space (MPI_Buffer_attach).
+func (c *Comm) BufferAttach(buf []byte) { c.prov.AttachBuffer(buf) }
+
+// BufferDetach drains and returns the staging space (MPI_Buffer_detach).
+func (c *Comm) BufferDetach(p *sim.Proc) []byte { return c.prov.DetachBuffer(p) }
+
+// Wtime returns the current virtual time in seconds (MPI_Wtime).
+func (c *Comm) Wtime(p *sim.Proc) float64 { return float64(p.Now()) / 1e9 }
+
+// ---- Communicator management ----
+
+// Dup duplicates the communicator with fresh context ids (MPI_Comm_dup).
+// It is collective: all members must call it in the same order.
+func (c *Comm) Dup(p *sim.Proc) *Comm {
+	nc := &Comm{
+		prov:  c.prov,
+		group: append([]int(nil), c.group...),
+		rank:  c.rank,
+		ctx:   c.world.nextCtx,
+		cctx:  c.world.nextCtx + 1,
+		world: c.world,
+	}
+	c.world.nextCtx += 2
+	// Synchronize so no member races ahead and sends on the new context
+	// before everyone has allocated it.
+	c.Barrier(p)
+	return nc
+}
+
+// Split partitions the communicator by color, ordering ranks by key then by
+// parent rank (MPI_Comm_split). Collective. A negative color returns nil
+// (MPI_UNDEFINED).
+func (c *Comm) Split(p *sim.Proc, color, key int) *Comm {
+	// Allgather (color, key) pairs over the parent communicator.
+	mine := []byte{byte(color >> 24), byte(color >> 16), byte(color >> 8), byte(color),
+		byte(key >> 24), byte(key >> 16), byte(key >> 8), byte(key)}
+	all := make([]byte, 8*c.Size())
+	c.Allgather(p, mine, all)
+	type member struct{ color, key, rank int }
+	var members []member
+	for r := 0; r < c.Size(); r++ {
+		b := all[8*r:]
+		col := int(int32(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])))
+		k := int(int32(uint32(b[4])<<24 | uint32(b[5])<<16 | uint32(b[6])<<8 | uint32(b[7])))
+		members = append(members, member{col, k, r})
+	}
+	ctx := c.world.nextCtx
+	c.world.nextCtx += 2 // one context pair per split: groups are disjoint
+	if color < 0 {
+		return nil
+	}
+	var group []int
+	myIdx := -1
+	// Stable selection sort by (key, rank) over members of my color.
+	var sel []member
+	for _, m := range members {
+		if m.color == color {
+			sel = append(sel, m)
+		}
+	}
+	for i := 0; i < len(sel); i++ {
+		for j := i + 1; j < len(sel); j++ {
+			if sel[j].key < sel[i].key || (sel[j].key == sel[i].key && sel[j].rank < sel[i].rank) {
+				sel[i], sel[j] = sel[j], sel[i]
+			}
+		}
+	}
+	for i, m := range sel {
+		group = append(group, c.group[m.rank])
+		if m.rank == c.rank {
+			myIdx = i
+		}
+	}
+	return &Comm{prov: c.prov, group: group, rank: myIdx, ctx: ctx, cctx: ctx + 1, world: c.world}
+}
+
+// Done reports whether the request has completed WITHOUT driving progress:
+// it is the interrupt-mode "check the content of the receive buffer"
+// pattern of Section 6.1, where completion must come from the interrupt
+// dispatcher rather than from MPI calls.
+func (r *Request) Done() bool { return r.done() }
+
+// TestAll reports whether every request has completed, driving progress
+// once (MPI_Testall).
+func TestAll(p *sim.Proc, reqs ...*Request) ([]Status, bool) {
+	if len(reqs) == 0 {
+		return nil, true
+	}
+	progressOnce(reqs[0].c, p)
+	for _, r := range reqs {
+		if !r.done() {
+			return nil, false
+		}
+	}
+	sts := make([]Status, len(reqs))
+	for i, r := range reqs {
+		sts[i] = r.statusNow()
+	}
+	return sts, true
+}
+
+// WaitSome blocks until at least one request completes and returns the
+// indices and statuses of all completed requests (MPI_Waitsome).
+func WaitSome(p *sim.Proc, reqs ...*Request) ([]int, []Status) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	reqs[0].c.prov.WaitUntil(p, func() bool {
+		for _, r := range reqs {
+			if r.done() {
+				return true
+			}
+		}
+		return false
+	})
+	var idx []int
+	var sts []Status
+	for i, r := range reqs {
+		if r.done() {
+			idx = append(idx, i)
+			sts = append(sts, r.statusNow())
+		}
+	}
+	return idx, sts
+}

@@ -1,0 +1,304 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"splapi/internal/sim"
+)
+
+// Datatype describes the memory layout of one element for typed
+// communication. Derived datatypes (contiguous, vector, indexed, struct)
+// are the paper's stated future work ("We plan to implement MPI data types
+// which have not been implemented yet"), provided here as an extension.
+//
+// Pack gathers one element from its (possibly strided) layout into
+// contiguous bytes; Unpack scatters it back. Size is the packed byte count;
+// Extent is the layout span.
+type Datatype interface {
+	Size() int
+	Extent() int
+	Pack(dst, src []byte)
+	Unpack(dst, src []byte)
+	Name() string
+}
+
+// kind discriminates basic types for reduction arithmetic.
+type kind int
+
+const (
+	kByte kind = iota
+	kInt32
+	kInt64
+	kFloat64
+)
+
+type basic struct {
+	name string
+	size int
+	k    kind
+}
+
+func (b basic) Size() int            { return b.size }
+func (b basic) Extent() int          { return b.size }
+func (b basic) Pack(dst, src []byte) { copy(dst, src[:b.size]) }
+func (b basic) Unpack(dst, src []byte) {
+	copy(dst[:b.size], src)
+}
+func (b basic) Name() string { return b.name }
+
+// Basic datatypes.
+var (
+	Byte    Datatype = basic{"byte", 1, kByte}
+	Int32   Datatype = basic{"int32", 4, kInt32}
+	Int64   Datatype = basic{"int64", 8, kInt64}
+	Float64 Datatype = basic{"float64", 8, kFloat64}
+)
+
+// contiguous is count repetitions of a base type (MPI_Type_contiguous).
+type contiguous struct {
+	base  Datatype
+	count int
+}
+
+// Contiguous builds a datatype of count consecutive base elements.
+func Contiguous(base Datatype, count int) Datatype {
+	return contiguous{base, count}
+}
+
+func (c contiguous) Size() int   { return c.base.Size() * c.count }
+func (c contiguous) Extent() int { return c.base.Extent() * c.count }
+func (c contiguous) Pack(dst, src []byte) {
+	for i := 0; i < c.count; i++ {
+		c.base.Pack(dst[i*c.base.Size():], src[i*c.base.Extent():])
+	}
+}
+func (c contiguous) Unpack(dst, src []byte) {
+	for i := 0; i < c.count; i++ {
+		c.base.Unpack(dst[i*c.base.Extent():], src[i*c.base.Size():])
+	}
+}
+func (c contiguous) Name() string { return fmt.Sprintf("contig(%s,%d)", c.base.Name(), c.count) }
+
+// vector is count blocks of blockLen base elements, strides apart
+// (MPI_Type_vector). stride is in base elements.
+type vector struct {
+	base            Datatype
+	count, blockLen int
+	stride          int
+}
+
+// Vector builds a strided datatype (MPI_Type_vector).
+func Vector(base Datatype, count, blockLen, stride int) Datatype {
+	if stride < blockLen {
+		panic("mpi: Vector stride smaller than block length")
+	}
+	return vector{base, count, blockLen, stride}
+}
+
+func (v vector) Size() int { return v.base.Size() * v.count * v.blockLen }
+func (v vector) Extent() int {
+	if v.count == 0 {
+		return 0
+	}
+	return v.base.Extent() * ((v.count-1)*v.stride + v.blockLen)
+}
+func (v vector) Pack(dst, src []byte) {
+	bs, be := v.base.Size(), v.base.Extent()
+	for i := 0; i < v.count; i++ {
+		for j := 0; j < v.blockLen; j++ {
+			v.base.Pack(dst[(i*v.blockLen+j)*bs:], src[(i*v.stride+j)*be:])
+		}
+	}
+}
+func (v vector) Unpack(dst, src []byte) {
+	bs, be := v.base.Size(), v.base.Extent()
+	for i := 0; i < v.count; i++ {
+		for j := 0; j < v.blockLen; j++ {
+			v.base.Unpack(dst[(i*v.stride+j)*be:], src[(i*v.blockLen+j)*bs:])
+		}
+	}
+}
+func (v vector) Name() string {
+	return fmt.Sprintf("vector(%s,%d,%d,%d)", v.base.Name(), v.count, v.blockLen, v.stride)
+}
+
+// indexed is blocks of varying lengths at varying displacements
+// (MPI_Type_indexed). Lengths and displacements are in base elements.
+type indexed struct {
+	base   Datatype
+	lens   []int
+	displs []int
+	size   int
+	extent int
+}
+
+// Indexed builds an irregular datatype (MPI_Type_indexed).
+func Indexed(base Datatype, lens, displs []int) Datatype {
+	if len(lens) != len(displs) {
+		panic("mpi: Indexed lens/displs length mismatch")
+	}
+	size, extent := 0, 0
+	for i := range lens {
+		size += lens[i] * base.Size()
+		if e := (displs[i] + lens[i]) * base.Extent(); e > extent {
+			extent = e
+		}
+	}
+	return indexed{base, lens, displs, size, extent}
+}
+
+func (ix indexed) Size() int   { return ix.size }
+func (ix indexed) Extent() int { return ix.extent }
+func (ix indexed) Pack(dst, src []byte) {
+	bs, be := ix.base.Size(), ix.base.Extent()
+	o := 0
+	for i := range ix.lens {
+		for j := 0; j < ix.lens[i]; j++ {
+			ix.base.Pack(dst[o:], src[(ix.displs[i]+j)*be:])
+			o += bs
+		}
+	}
+}
+func (ix indexed) Unpack(dst, src []byte) {
+	bs, be := ix.base.Size(), ix.base.Extent()
+	o := 0
+	for i := range ix.lens {
+		for j := 0; j < ix.lens[i]; j++ {
+			ix.base.Unpack(dst[(ix.displs[i]+j)*be:], src[o:])
+			o += bs
+		}
+	}
+}
+func (ix indexed) Name() string { return fmt.Sprintf("indexed(%s,%d)", ix.base.Name(), len(ix.lens)) }
+
+// Field is one member of a Struct datatype.
+type Field struct {
+	Type   Datatype
+	Count  int
+	Offset int // byte offset within the struct layout
+}
+
+// structType combines heterogeneous fields (MPI_Type_create_struct).
+type structType struct {
+	fields []Field
+	size   int
+	extent int
+}
+
+// Struct builds a heterogeneous datatype (MPI_Type_create_struct).
+func Struct(fields ...Field) Datatype {
+	size, extent := 0, 0
+	for _, f := range fields {
+		size += f.Count * f.Type.Size()
+		if e := f.Offset + f.Count*f.Type.Extent(); e > extent {
+			extent = e
+		}
+	}
+	return structType{fields, size, extent}
+}
+
+func (s structType) Size() int   { return s.size }
+func (s structType) Extent() int { return s.extent }
+func (s structType) Pack(dst, src []byte) {
+	o := 0
+	for _, f := range s.fields {
+		for i := 0; i < f.Count; i++ {
+			f.Type.Pack(dst[o:], src[f.Offset+i*f.Type.Extent():])
+			o += f.Type.Size()
+		}
+	}
+}
+func (s structType) Unpack(dst, src []byte) {
+	o := 0
+	for _, f := range s.fields {
+		for i := 0; i < f.Count; i++ {
+			f.Type.Unpack(dst[f.Offset+i*f.Type.Extent():], src[o:])
+			o += f.Type.Size()
+		}
+	}
+}
+func (s structType) Name() string { return fmt.Sprintf("struct(%d fields)", len(s.fields)) }
+
+// SendTyped packs count elements of dt from buf and sends them (the typed
+// analogue of MPI_Send with a derived datatype).
+func (c *Comm) SendTyped(p *sim.Proc, buf []byte, dt Datatype, count, dst, tag int) {
+	packed := make([]byte, dt.Size()*count)
+	for i := 0; i < count; i++ {
+		dt.Pack(packed[i*dt.Size():], buf[i*dt.Extent():])
+	}
+	c.Send(p, packed, dst, tag)
+}
+
+// RecvTyped receives count elements of dt and unpacks them into buf.
+func (c *Comm) RecvTyped(p *sim.Proc, buf []byte, dt Datatype, count, src, tag int) Status {
+	packed := make([]byte, dt.Size()*count)
+	st := c.Recv(p, packed, src, tag)
+	n := st.Count / dt.Size()
+	for i := 0; i < n; i++ {
+		dt.Unpack(buf[i*dt.Extent():], packed[i*dt.Size():])
+	}
+	st.Count = n
+	return st
+}
+
+// ---- Reduction operations ----
+
+// ReduceOp is a predefined reduction operation.
+type ReduceOp int
+
+// Reduction operations.
+const (
+	OpSum ReduceOp = iota
+	OpProd
+	OpMax
+	OpMin
+	OpBAnd
+	OpBOr
+	OpBXor
+)
+
+func (op ReduceOp) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpProd:
+		return "prod"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	case OpBAnd:
+		return "band"
+	case OpBOr:
+		return "bor"
+	case OpBXor:
+		return "bxor"
+	}
+	return "op?"
+}
+
+// applyOp computes dst = dst OP src elementwise for a basic datatype.
+func applyOp(op ReduceOp, dt Datatype, dst, src []byte) {
+	b, ok := dt.(basic)
+	if !ok {
+		panic("mpi: reductions require a basic datatype")
+	}
+	n := len(dst) / b.size
+	for i := 0; i < n; i++ {
+		d, s := dst[i*b.size:(i+1)*b.size], src[i*b.size:(i+1)*b.size]
+		switch b.k {
+		case kByte:
+			d[0] = byte(reduceI64(op, int64(d[0]), int64(s[0])))
+		case kInt32:
+			v := reduceI64(op, int64(int32(binary.LittleEndian.Uint32(d))), int64(int32(binary.LittleEndian.Uint32(s))))
+			binary.LittleEndian.PutUint32(d, uint32(int32(v)))
+		case kInt64:
+			v := reduceI64(op, int64(binary.LittleEndian.Uint64(d)), int64(binary.LittleEndian.Uint64(s)))
+			binary.LittleEndian.PutUint64(d, uint64(v))
+		case kFloat64:
+			v := reduceF64(op, f64(d), f64(s))
+			putF64(d, v)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func fill(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + 1)
+	}
+	return b
+}
+
+// roundtrip packs one element of dt from src and unpacks it into a fresh
+// layout buffer, returning the reconstruction.
+func roundtrip(dt Datatype, src []byte) []byte {
+	packed := make([]byte, dt.Size())
+	dt.Pack(packed, src)
+	out := make([]byte, dt.Extent())
+	dt.Unpack(out, packed)
+	return out
+}
+
+func TestContiguousRoundtrip(t *testing.T) {
+	dt := Contiguous(Int32, 5)
+	if dt.Size() != 20 || dt.Extent() != 20 {
+		t.Fatalf("size=%d extent=%d", dt.Size(), dt.Extent())
+	}
+	src := fill(20)
+	if !bytes.Equal(roundtrip(dt, src), src) {
+		t.Fatal("contiguous roundtrip mismatch")
+	}
+}
+
+func TestVectorPacksStrided(t *testing.T) {
+	// 3 blocks of 2 float64s, stride 4 elements: a column-ish pattern.
+	dt := Vector(Float64, 3, 2, 4)
+	if dt.Size() != 3*2*8 {
+		t.Fatalf("size=%d", dt.Size())
+	}
+	if dt.Extent() != ((3-1)*4+2)*8 {
+		t.Fatalf("extent=%d", dt.Extent())
+	}
+	src := fill(dt.Extent())
+	packed := make([]byte, dt.Size())
+	dt.Pack(packed, src)
+	// Block i element j must equal src at (i*stride+j) element.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			want := src[(i*4+j)*8 : (i*4+j)*8+8]
+			got := packed[(i*2+j)*8 : (i*2+j)*8+8]
+			if !bytes.Equal(got, want) {
+				t.Fatalf("block %d elem %d mismatch", i, j)
+			}
+		}
+	}
+	// Unpack restores exactly the strided positions.
+	out := make([]byte, dt.Extent())
+	dt.Unpack(out, packed)
+	for i := 0; i < 3; i++ {
+		lo := (i * 4) * 8
+		if !bytes.Equal(out[lo:lo+16], src[lo:lo+16]) {
+			t.Fatalf("unpack block %d mismatch", i)
+		}
+	}
+}
+
+func TestIndexedRoundtrip(t *testing.T) {
+	dt := Indexed(Byte, []int{3, 1, 4}, []int{0, 5, 9})
+	if dt.Size() != 8 || dt.Extent() != 13 {
+		t.Fatalf("size=%d extent=%d", dt.Size(), dt.Extent())
+	}
+	src := fill(13)
+	packed := make([]byte, dt.Size())
+	dt.Pack(packed, src)
+	want := []byte{src[0], src[1], src[2], src[5], src[9], src[10], src[11], src[12]}
+	if !bytes.Equal(packed, want) {
+		t.Fatalf("packed = %v, want %v", packed, want)
+	}
+	out := make([]byte, dt.Extent())
+	dt.Unpack(out, packed)
+	for _, idx := range []int{0, 1, 2, 5, 9, 10, 11, 12} {
+		if out[idx] != src[idx] {
+			t.Fatalf("unpack[%d] = %d, want %d", idx, out[idx], src[idx])
+		}
+	}
+}
+
+func TestStructRoundtrip(t *testing.T) {
+	// struct { a int32; pad [4]byte; b [2]float64; c byte }
+	dt := Struct(
+		Field{Type: Int32, Count: 1, Offset: 0},
+		Field{Type: Float64, Count: 2, Offset: 8},
+		Field{Type: Byte, Count: 1, Offset: 24},
+	)
+	if dt.Size() != 4+16+1 {
+		t.Fatalf("size=%d", dt.Size())
+	}
+	if dt.Extent() != 25 {
+		t.Fatalf("extent=%d", dt.Extent())
+	}
+	src := fill(dt.Extent())
+	out := roundtrip(dt, src)
+	for _, r := range [][2]int{{0, 4}, {8, 24}, {24, 25}} {
+		if !bytes.Equal(out[r[0]:r[1]], src[r[0]:r[1]]) {
+			t.Fatalf("field bytes [%d:%d] mismatch", r[0], r[1])
+		}
+	}
+	// Padding bytes must be untouched (zero).
+	for _, idx := range []int{4, 5, 6, 7} {
+		if out[idx] != 0 {
+			t.Fatalf("padding byte %d = %d, want 0", idx, out[idx])
+		}
+	}
+}
+
+func TestNestedDatatypes(t *testing.T) {
+	// A vector of contiguous pairs: exercises composition.
+	pair := Contiguous(Int32, 2)
+	dt := Vector(pair, 3, 1, 2)
+	src := fill(dt.Extent())
+	packed := make([]byte, dt.Size())
+	dt.Pack(packed, src)
+	out := make([]byte, dt.Extent())
+	dt.Unpack(out, packed)
+	for i := 0; i < 3; i++ {
+		lo := i * 2 * pair.Extent()
+		if !bytes.Equal(out[lo:lo+pair.Extent()], src[lo:lo+pair.Extent()]) {
+			t.Fatalf("nested block %d mismatch", i)
+		}
+	}
+}
+
+// Property: for any vector shape, pack/unpack restores every packed byte.
+func TestVectorRoundtripProperty(t *testing.T) {
+	prop := func(count, blockLen, extraStride uint8) bool {
+		cnt := int(count)%6 + 1
+		bl := int(blockLen)%4 + 1
+		stride := bl + int(extraStride)%5
+		dt := Vector(Byte, cnt, bl, stride)
+		src := fill(dt.Extent())
+		packed := make([]byte, dt.Size())
+		dt.Pack(packed, src)
+		out := make([]byte, dt.Extent())
+		dt.Unpack(out, packed)
+		for i := 0; i < cnt; i++ {
+			for j := 0; j < bl; j++ {
+				if out[i*stride+j] != src[i*stride+j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: indexed roundtrip restores all indexed bytes for random shapes.
+func TestIndexedRoundtripProperty(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 8 {
+			return true
+		}
+		var lens, displs []int
+		at := 0
+		for _, r := range raw {
+			l := int(r)%3 + 1
+			gap := int(r>>4) % 3
+			displs = append(displs, at+gap)
+			lens = append(lens, l)
+			at += gap + l
+		}
+		dt := Indexed(Byte, lens, displs)
+		src := fill(dt.Extent())
+		out := roundtrip(dt, src)
+		for i := range lens {
+			for j := 0; j < lens[i]; j++ {
+				if out[displs[i]+j] != src[displs[i]+j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceOpArithmetic(t *testing.T) {
+	a := Float64Slice([]float64{1.5, -2, 8})
+	b := Float64Slice([]float64{0.5, 3, -8})
+	applyOp(OpSum, Float64, a, b)
+	res := make([]float64, 3)
+	PutFloat64Slice(res, a)
+	if res[0] != 2 || res[1] != 1 || res[2] != 0 {
+		t.Fatalf("float64 sum = %v", res)
+	}
+	ai := Int32Slice([]int32{7, -3})
+	bi := Int32Slice([]int32{-2, -5})
+	applyOp(OpMin, Int32, ai, bi)
+	ri := make([]int32, 2)
+	PutInt32Slice(ri, ai)
+	if ri[0] != -2 || ri[1] != -5 {
+		t.Fatalf("int32 min = %v", ri)
+	}
+}

@@ -1,0 +1,474 @@
+package mpi_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"splapi/internal/cluster"
+	"splapi/internal/machine"
+	"splapi/internal/mpci"
+	"splapi/internal/mpi"
+	"splapi/internal/sim"
+)
+
+var testStacks = []cluster.Stack{cluster.Native, cluster.LAPIEnhanced, cluster.LAPIBase, cluster.LAPICounters}
+
+func build(t testing.TB, stack cluster.Stack, nodes int, seed int64) *cluster.Cluster {
+	t.Helper()
+	par := machine.SP332()
+	return cluster.New(cluster.Config{Nodes: nodes, Stack: stack, Seed: seed, Params: &par})
+}
+
+// runWorld runs fn as an SPMD program with a world communicator per rank.
+func runWorld(t testing.TB, c *cluster.Cluster, fn func(p *sim.Proc, w *mpi.Comm)) {
+	t.Helper()
+	c.RunMPI(120*sim.Second, func(p *sim.Proc, prov mpci.Provider) {
+		fn(p, mpi.NewWorld(prov))
+	})
+}
+
+func forStacks(t *testing.T, fn func(t *testing.T, stack cluster.Stack)) {
+	for _, s := range testStacks {
+		s := s
+		t.Run(s.String(), func(t *testing.T) { fn(t, s) })
+	}
+}
+
+func TestSendRecvBlocking(t *testing.T) {
+	forStacks(t, func(t *testing.T, stack cluster.Stack) {
+		c := build(t, stack, 2, 1)
+		var st mpi.Status
+		got := make([]byte, 9)
+		runWorld(t, c, func(p *sim.Proc, w *mpi.Comm) {
+			if w.Rank() == 0 {
+				w.Send(p, []byte("ping-pong"), 1, 7)
+			} else {
+				st = w.Recv(p, got, 0, 7)
+			}
+		})
+		if string(got) != "ping-pong" || st.Source != 0 || st.Tag != 7 || st.Count != 9 {
+			t.Fatalf("got %q status %+v", got, st)
+		}
+	})
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	forStacks(t, func(t *testing.T, stack cluster.Stack) {
+		c := build(t, stack, 4, 1)
+		after := make([]sim.Time, 4)
+		var slowest sim.Time
+		runWorld(t, c, func(p *sim.Proc, w *mpi.Comm) {
+			d := sim.Time(w.Rank()) * 3 * sim.Millisecond
+			p.Sleep(d)
+			if d > slowest {
+				slowest = d
+			}
+			w.Barrier(p)
+			after[w.Rank()] = p.Now()
+		})
+		for r, tm := range after {
+			if tm < slowest {
+				t.Fatalf("rank %d left the barrier at %v, before the slowest arrival %v", r, tm, slowest)
+			}
+		}
+	})
+}
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	forStacks(t, func(t *testing.T, stack cluster.Stack) {
+		for _, n := range []int{2, 3, 4, 5} {
+			for root := 0; root < n; root++ {
+				c := build(t, stack, n, int64(n*10+root))
+				msg := []byte(fmt.Sprintf("bcast-%d-%d", n, root))
+				bufs := make([][]byte, n)
+				runWorld(t, c, func(p *sim.Proc, w *mpi.Comm) {
+					b := make([]byte, len(msg))
+					if w.Rank() == root {
+						copy(b, msg)
+					}
+					w.Bcast(p, b, root)
+					bufs[w.Rank()] = b
+				})
+				for r, b := range bufs {
+					if !bytes.Equal(b, msg) {
+						t.Fatalf("n=%d root=%d rank=%d got %q", n, root, r, b)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestReduceAndAllreduce(t *testing.T) {
+	forStacks(t, func(t *testing.T, stack cluster.Stack) {
+		const n = 4
+		c := build(t, stack, n, 2)
+		sums := make([][]float64, n)
+		runWorld(t, c, func(p *sim.Proc, w *mpi.Comm) {
+			mine := []float64{float64(w.Rank() + 1), float64(w.Rank() * 10), -float64(w.Rank())}
+			out := make([]byte, 8*3)
+			w.Allreduce(p, mpi.Float64Slice(mine), out, mpi.Float64, mpi.OpSum)
+			res := make([]float64, 3)
+			mpi.PutFloat64Slice(res, out)
+			sums[w.Rank()] = res
+		})
+		want := []float64{1 + 2 + 3 + 4, 0 + 10 + 20 + 30, -(0 + 1 + 2 + 3)}
+		for r, res := range sums {
+			for i := range want {
+				if res[i] != want[i] {
+					t.Fatalf("rank %d allreduce = %v, want %v", r, res, want)
+				}
+			}
+		}
+	})
+}
+
+func TestReduceOpsInt64(t *testing.T) {
+	c := build(t, cluster.LAPIEnhanced, 4, 3)
+	type result struct {
+		op   mpi.ReduceOp
+		want int64
+	}
+	// Ranks contribute 3, 5, 6, 12 (rank-dependent).
+	vals := []int64{3, 5, 6, 12}
+	cases := []result{
+		{mpi.OpSum, 26},
+		{mpi.OpProd, 3 * 5 * 6 * 12},
+		{mpi.OpMax, 12},
+		{mpi.OpMin, 3},
+		{mpi.OpBAnd, 3 & 5 & 6 & 12},
+		{mpi.OpBOr, 3 | 5 | 6 | 12},
+		{mpi.OpBXor, 3 ^ 5 ^ 6 ^ 12},
+	}
+	got := make([]int64, len(cases))
+	runWorld(t, c, func(p *sim.Proc, w *mpi.Comm) {
+		for i, cse := range cases {
+			out := make([]byte, 8)
+			w.Reduce(p, mpi.Int64Slice([]int64{vals[w.Rank()]}), out, mpi.Int64, cse.op, 0)
+			if w.Rank() == 0 {
+				res := make([]int64, 1)
+				mpi.PutInt64Slice(res, out)
+				got[i] = res[0]
+			}
+			w.Barrier(p)
+		}
+	})
+	for i, cse := range cases {
+		if got[i] != cse.want {
+			t.Errorf("%v = %d, want %d", cse.op, got[i], cse.want)
+		}
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	forStacks(t, func(t *testing.T, stack cluster.Stack) {
+		const n = 4
+		c := build(t, stack, n, 4)
+		var gathered []byte
+		scattered := make([][]byte, n)
+		runWorld(t, c, func(p *sim.Proc, w *mpi.Comm) {
+			mine := []byte{byte(w.Rank()), byte(w.Rank() * 2)}
+			var rb []byte
+			if w.Rank() == 1 {
+				rb = make([]byte, 2*n)
+			}
+			w.Gather(p, mine, rb, 1)
+			if w.Rank() == 1 {
+				gathered = rb
+			}
+			sb := make([]byte, 3*n)
+			if w.Rank() == 2 {
+				for i := range sb {
+					sb[i] = byte(i)
+				}
+			}
+			out := make([]byte, 3)
+			w.Scatter(p, sb, out, 2)
+			scattered[w.Rank()] = out
+		})
+		if !bytes.Equal(gathered, []byte{0, 0, 1, 2, 2, 4, 3, 6}) {
+			t.Fatalf("gather = %v", gathered)
+		}
+		for r, b := range scattered {
+			want := []byte{byte(3 * r), byte(3*r + 1), byte(3*r + 2)}
+			if !bytes.Equal(b, want) {
+				t.Fatalf("scatter rank %d = %v, want %v", r, b, want)
+			}
+		}
+	})
+}
+
+func TestAllgatherAndAlltoall(t *testing.T) {
+	forStacks(t, func(t *testing.T, stack cluster.Stack) {
+		for _, n := range []int{2, 3, 4} {
+			c := build(t, stack, n, int64(5+n))
+			ag := make([][]byte, n)
+			a2a := make([][]byte, n)
+			runWorld(t, c, func(p *sim.Proc, w *mpi.Comm) {
+				r := w.Rank()
+				mine := []byte{byte(r), byte(r + 100)}
+				all := make([]byte, 2*n)
+				w.Allgather(p, mine, all)
+				ag[r] = all
+
+				sb := make([]byte, n)
+				for i := range sb {
+					sb[i] = byte(r*16 + i) // block for rank i
+				}
+				rb := make([]byte, n)
+				w.Alltoall(p, sb, rb, 1)
+				a2a[r] = rb
+			})
+			for r := 0; r < n; r++ {
+				for s := 0; s < n; s++ {
+					if ag[r][2*s] != byte(s) || ag[r][2*s+1] != byte(s+100) {
+						t.Fatalf("n=%d allgather rank %d block %d = %v", n, r, s, ag[r])
+					}
+					if a2a[r][s] != byte(s*16+r) {
+						t.Fatalf("n=%d alltoall rank %d from %d = %d, want %d", n, r, s, a2a[r][s], s*16+r)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestAlltoallv(t *testing.T) {
+	const n = 3
+	c := build(t, cluster.LAPIEnhanced, n, 6)
+	results := make([][]byte, n)
+	runWorld(t, c, func(p *sim.Proc, w *mpi.Comm) {
+		r := w.Rank()
+		// Rank r sends (i+1) bytes of value r*10+i to rank i.
+		sendCounts := make([]int, n)
+		sendDispls := make([]int, n)
+		total := 0
+		for i := 0; i < n; i++ {
+			sendCounts[i] = i + 1
+			sendDispls[i] = total
+			total += i + 1
+		}
+		sb := make([]byte, total)
+		for i := 0; i < n; i++ {
+			for j := 0; j < sendCounts[i]; j++ {
+				sb[sendDispls[i]+j] = byte(r*10 + i)
+			}
+		}
+		// Rank r receives (r+1) bytes from each rank.
+		recvCounts := make([]int, n)
+		recvDispls := make([]int, n)
+		total = 0
+		for i := 0; i < n; i++ {
+			recvCounts[i] = r + 1
+			recvDispls[i] = total
+			total += r + 1
+		}
+		rb := make([]byte, total)
+		w.Alltoallv(p, sb, sendCounts, sendDispls, rb, recvCounts, recvDispls)
+		results[r] = rb
+	})
+	for r := 0; r < n; r++ {
+		for s := 0; s < n; s++ {
+			for j := 0; j < r+1; j++ {
+				got := results[r][s*(r+1)+j]
+				if got != byte(s*10+r) {
+					t.Fatalf("rank %d from %d byte %d = %d, want %d", r, s, j, got, s*10+r)
+				}
+			}
+		}
+	}
+}
+
+func TestScanPrefixSum(t *testing.T) {
+	const n = 5
+	c := build(t, cluster.Native, n, 7)
+	got := make([]int64, n)
+	runWorld(t, c, func(p *sim.Proc, w *mpi.Comm) {
+		mine := mpi.Int64Slice([]int64{int64(w.Rank() + 1)})
+		out := make([]byte, 8)
+		w.Scan(p, mine, out, mpi.Int64, mpi.OpSum)
+		res := make([]int64, 1)
+		mpi.PutInt64Slice(res, out)
+		got[w.Rank()] = res[0]
+	})
+	for r := 0; r < n; r++ {
+		want := int64((r + 1) * (r + 2) / 2)
+		if got[r] != want {
+			t.Fatalf("scan rank %d = %d, want %d", r, got[r], want)
+		}
+	}
+}
+
+func TestCommSplitAndDup(t *testing.T) {
+	forStacks(t, func(t *testing.T, stack cluster.Stack) {
+		const n = 4
+		c := build(t, stack, n, 8)
+		subSums := make([]int64, n)
+		runWorld(t, c, func(p *sim.Proc, w *mpi.Comm) {
+			dup := w.Dup(p)
+			// Split into even/odd groups; reduce within each.
+			sub := dup.Split(p, w.Rank()%2, w.Rank())
+			if sub.Size() != 2 {
+				t.Errorf("sub size = %d, want 2", sub.Size())
+			}
+			out := make([]byte, 8)
+			sub.Allreduce(p, mpi.Int64Slice([]int64{int64(w.Rank())}), out, mpi.Int64, mpi.OpSum)
+			res := make([]int64, 1)
+			mpi.PutInt64Slice(res, out)
+			subSums[w.Rank()] = res[0]
+		})
+		for r := 0; r < n; r++ {
+			want := int64(0 + 2)
+			if r%2 == 1 {
+				want = 1 + 3
+			}
+			if subSums[r] != want {
+				t.Fatalf("rank %d sub-sum = %d, want %d", r, subSums[r], want)
+			}
+		}
+	})
+}
+
+func TestSplitIsolatesTraffic(t *testing.T) {
+	// Messages in a sub-communicator must not match receives in the
+	// parent, even with identical tags and (sub)ranks.
+	c := build(t, cluster.LAPIEnhanced, 2, 9)
+	var fromSub, fromWorld byte
+	runWorld(t, c, func(p *sim.Proc, w *mpi.Comm) {
+		sub := w.Split(p, 0, w.Rank())
+		if w.Rank() == 0 {
+			w.Send(p, []byte{111}, 1, 5)
+			sub.Send(p, []byte{222}, 1, 5)
+		} else {
+			b := make([]byte, 1)
+			sub.Recv(p, b, 0, 5)
+			fromSub = b[0]
+			w.Recv(p, b, 0, 5)
+			fromWorld = b[0]
+		}
+	})
+	if fromSub != 222 || fromWorld != 111 {
+		t.Fatalf("context separation broken: sub=%d world=%d", fromSub, fromWorld)
+	}
+}
+
+func TestWaitAnyAndTest(t *testing.T) {
+	c := build(t, cluster.Native, 2, 10)
+	runWorld(t, c, func(p *sim.Proc, w *mpi.Comm) {
+		if w.Rank() == 0 {
+			p.Sleep(3 * sim.Millisecond)
+			w.Send(p, []byte{1}, 1, 2)
+		} else {
+			b1 := make([]byte, 1)
+			b2 := make([]byte, 1)
+			r1 := w.Irecv(p, b1, 0, 1) // never satisfied
+			r2 := w.Irecv(p, b2, 0, 2)
+			if _, ok := r2.Test(p); ok {
+				t.Error("Test reported done before any message")
+			}
+			idx, st := mpi.WaitAny(p, r1, r2)
+			if idx != 1 || st.Tag != 2 {
+				t.Errorf("WaitAny = %d %+v, want request 1 tag 2", idx, st)
+			}
+		}
+	})
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	forStacks(t, func(t *testing.T, stack cluster.Stack) {
+		c := build(t, stack, 2, 11)
+		got := make([][]byte, 2)
+		runWorld(t, c, func(p *sim.Proc, w *mpi.Comm) {
+			r := w.Rank()
+			mine := []byte{byte(10 + r)}
+			other := make([]byte, 1)
+			w.Sendrecv(p, mine, 1-r, 0, other, 1-r, 0)
+			got[r] = other
+		})
+		if got[0][0] != 11 || got[1][0] != 10 {
+			t.Fatalf("sendrecv = %v", got)
+		}
+	})
+}
+
+func TestProbeThenRecv(t *testing.T) {
+	c := build(t, cluster.LAPIBase, 2, 12)
+	var probed mpi.Status
+	var data []byte
+	runWorld(t, c, func(p *sim.Proc, w *mpi.Comm) {
+		if w.Rank() == 0 {
+			w.Send(p, []byte("probe-me"), 1, 33)
+		} else {
+			probed = w.Probe(p, mpi.AnySource, mpi.AnyTag)
+			data = make([]byte, probed.Count)
+			w.Recv(p, data, probed.Source, probed.Tag)
+		}
+	})
+	if probed.Count != 8 || probed.Tag != 33 || string(data) != "probe-me" {
+		t.Fatalf("probe=%+v data=%q", probed, data)
+	}
+}
+
+func TestAllModesBlockingAndNonblocking(t *testing.T) {
+	forStacks(t, func(t *testing.T, stack cluster.Stack) {
+		c := build(t, stack, 2, 13)
+		const nmsg = 8
+		gots := make([][]byte, nmsg)
+		runWorld(t, c, func(p *sim.Proc, w *mpi.Comm) {
+			if w.Rank() == 0 {
+				w.BufferAttach(make([]byte, 1<<16))
+				p.Sleep(2 * sim.Millisecond) // receives posted first (ready mode)
+				w.Send(p, []byte("msg-0"), 1, 0)
+				w.Ssend(p, []byte("msg-1"), 1, 1)
+				w.Bsend(p, []byte("msg-2"), 1, 2)
+				w.Rsend(p, []byte("msg-3"), 1, 3)
+				r4 := w.Isend(p, []byte("msg-4"), 1, 4)
+				r5 := w.Issend(p, []byte("msg-5"), 1, 5)
+				r6 := w.Ibsend(p, []byte("msg-6"), 1, 6)
+				r7 := w.Irsend(p, []byte("msg-7"), 1, 7)
+				mpi.WaitAll(p, r4, r5, r6, r7)
+				w.BufferDetach(p)
+			} else {
+				reqs := make([]*mpi.Request, nmsg)
+				for i := 0; i < nmsg; i++ {
+					gots[i] = make([]byte, 5)
+					reqs[i] = w.Irecv(p, gots[i], 0, i)
+				}
+				mpi.WaitAll(p, reqs...)
+			}
+		})
+		for i := 0; i < nmsg; i++ {
+			want := fmt.Sprintf("msg-%d", i)
+			if string(gots[i]) != want {
+				t.Fatalf("mode message %d = %q, want %q", i, gots[i], want)
+			}
+		}
+	})
+}
+
+func TestWaitSomeAndTestAll(t *testing.T) {
+	c := build(t, cluster.LAPIEnhanced, 2, 41)
+	runWorld(t, c, func(p *sim.Proc, w *mpi.Comm) {
+		if w.Rank() == 0 {
+			w.Send(p, []byte{1}, 1, 1)
+			p.Sleep(5 * sim.Millisecond)
+			w.Send(p, []byte{2}, 1, 2)
+		} else {
+			b1, b2 := make([]byte, 1), make([]byte, 1)
+			r1 := w.Irecv(p, b1, 0, 1)
+			r2 := w.Irecv(p, b2, 0, 2)
+			idx, sts := mpi.WaitSome(p, r1, r2)
+			if len(idx) < 1 || idx[0] != 0 || sts[0].Tag != 1 {
+				t.Errorf("WaitSome = %v %v, want request 0 first", idx, sts)
+			}
+			if _, ok := mpi.TestAll(p, r1, r2); ok {
+				t.Error("TestAll should be false while tag 2 is in flight")
+			}
+			mpi.WaitAll(p, r1, r2)
+			if sts, ok := mpi.TestAll(p, r1, r2); !ok || sts[1].Tag != 2 {
+				t.Errorf("TestAll after WaitAll = %v %v", sts, ok)
+			}
+		}
+	})
+}

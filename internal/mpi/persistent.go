@@ -1,0 +1,117 @@
+package mpi
+
+import (
+	"splapi/internal/mpci"
+	"splapi/internal/sim"
+)
+
+// PersistentRequest is a reusable communication request
+// (MPI_Send_init / MPI_Recv_init): programs with fixed communication
+// patterns — like the NAS solvers' halo exchanges — build the request once
+// and Start it every iteration.
+type PersistentRequest struct {
+	c      *Comm
+	isSend bool
+	buf    []byte
+	peer   int
+	tag    int
+	mode   mpci.Mode
+	active *Request
+}
+
+// SendInit creates a persistent standard-mode send request (MPI_Send_init).
+func (c *Comm) SendInit(buf []byte, dst, tag int) *PersistentRequest {
+	return &PersistentRequest{c: c, isSend: true, buf: buf, peer: dst, tag: tag, mode: mpci.ModeStandard}
+}
+
+// SsendInit creates a persistent synchronous-mode send (MPI_Ssend_init).
+func (c *Comm) SsendInit(buf []byte, dst, tag int) *PersistentRequest {
+	return &PersistentRequest{c: c, isSend: true, buf: buf, peer: dst, tag: tag, mode: mpci.ModeSync}
+}
+
+// BsendInit creates a persistent buffered-mode send (MPI_Bsend_init).
+func (c *Comm) BsendInit(buf []byte, dst, tag int) *PersistentRequest {
+	return &PersistentRequest{c: c, isSend: true, buf: buf, peer: dst, tag: tag, mode: mpci.ModeBuffered}
+}
+
+// RsendInit creates a persistent ready-mode send (MPI_Rsend_init).
+func (c *Comm) RsendInit(buf []byte, dst, tag int) *PersistentRequest {
+	return &PersistentRequest{c: c, isSend: true, buf: buf, peer: dst, tag: tag, mode: mpci.ModeReady}
+}
+
+// RecvInit creates a persistent receive request (MPI_Recv_init).
+func (c *Comm) RecvInit(buf []byte, src, tag int) *PersistentRequest {
+	return &PersistentRequest{c: c, isSend: false, buf: buf, peer: src, tag: tag}
+}
+
+// Start activates the request (MPI_Start). The previous activation must
+// have completed.
+func (r *PersistentRequest) Start(p *sim.Proc) {
+	if r.active != nil && !r.active.done() {
+		panic("mpi: Start on a persistent request that is still active")
+	}
+	if r.isSend {
+		r.active = r.c.isend(p, r.buf, r.peer, r.tag, r.mode, false)
+	} else {
+		r.active = r.c.Irecv(p, r.buf, r.peer, r.tag)
+	}
+}
+
+// Wait blocks until the current activation completes (MPI_Wait).
+func (r *PersistentRequest) Wait(p *sim.Proc) Status {
+	if r.active == nil {
+		panic("mpi: Wait on a persistent request that was never started")
+	}
+	return r.active.Wait(p)
+}
+
+// Test reports whether the current activation completed (MPI_Test).
+func (r *PersistentRequest) Test(p *sim.Proc) (Status, bool) {
+	if r.active == nil {
+		return Status{}, false
+	}
+	return r.active.Test(p)
+}
+
+// StartAll activates a set of persistent requests (MPI_Startall).
+func StartAll(p *sim.Proc, reqs ...*PersistentRequest) {
+	for _, r := range reqs {
+		r.Start(p)
+	}
+}
+
+// WaitAllPersistent waits for the current activation of each request.
+func WaitAllPersistent(p *sim.Proc, reqs ...*PersistentRequest) []Status {
+	actives := make([]*Request, len(reqs))
+	for i, r := range reqs {
+		if r.active == nil {
+			panic("mpi: WaitAllPersistent on a request that was never started")
+		}
+		actives[i] = r.active
+	}
+	return WaitAll(p, actives...)
+}
+
+// Pack appends count elements of dt from buf to the pack buffer (MPI_Pack).
+// It returns the extended buffer.
+func Pack(packed []byte, buf []byte, dt Datatype, count int) []byte {
+	off := len(packed)
+	packed = append(packed, make([]byte, dt.Size()*count)...)
+	for i := 0; i < count; i++ {
+		dt.Pack(packed[off+i*dt.Size():], buf[i*dt.Extent():])
+	}
+	return packed
+}
+
+// Unpack extracts count elements of dt from packed (starting at *pos) into
+// buf and advances *pos (MPI_Unpack).
+func Unpack(packed []byte, pos *int, buf []byte, dt Datatype, count int) {
+	for i := 0; i < count; i++ {
+		dt.Unpack(buf[i*dt.Extent():], packed[*pos+i*dt.Size():])
+	}
+	*pos += dt.Size() * count
+}
+
+// PackSize returns the bytes Pack will use for count elements of dt
+// (MPI_Pack_size).
+func PackSize(dt Datatype, count int) int { return dt.Size() * count }

@@ -1,0 +1,105 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+func reduceI64(op ReduceOp, a, b int64) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	case OpBAnd:
+		return a & b
+	case OpBOr:
+		return a | b
+	case OpBXor:
+		return a ^ b
+	}
+	panic(fmt.Sprintf("mpi: bad reduce op %d", op))
+}
+
+func reduceF64(op ReduceOp, a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMax:
+		return math.Max(a, b)
+	case OpMin:
+		return math.Min(a, b)
+	}
+	panic(fmt.Sprintf("mpi: reduce op %v not defined for float64", op))
+}
+
+func f64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func putF64(b []byte, v float64) {
+	binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+}
+
+// Float64Slice views a []float64 as the []byte layout MPI calls expect.
+// The returned slice aliases nothing: it is an encoded copy; use
+// PutFloat64Slice to decode results.
+func Float64Slice(xs []float64) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		putF64(b[8*i:], x)
+	}
+	return b
+}
+
+// PutFloat64Slice decodes an MPI byte buffer into a []float64.
+func PutFloat64Slice(dst []float64, b []byte) {
+	for i := range dst {
+		dst[i] = f64(b[8*i:])
+	}
+}
+
+// Int64Slice encodes a []int64 for MPI calls.
+func Int64Slice(xs []int64) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(x))
+	}
+	return b
+}
+
+// PutInt64Slice decodes an MPI byte buffer into a []int64.
+func PutInt64Slice(dst []int64, b []byte) {
+	for i := range dst {
+		dst[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}
+
+// Int32Slice encodes a []int32 for MPI calls.
+func Int32Slice(xs []int32) []byte {
+	b := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(x))
+	}
+	return b
+}
+
+// PutInt32Slice decodes an MPI byte buffer into a []int32.
+func PutInt32Slice(dst []int32, b []byte) {
+	for i := range dst {
+		dst[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+}

@@ -1,0 +1,137 @@
+package mpi
+
+import (
+	"fmt"
+
+	"splapi/internal/sim"
+)
+
+// Cart is a Cartesian process topology over a communicator
+// (MPI_Cart_create). Rank 0 holds coordinate (0,0,...); ranks advance
+// row-major, last dimension fastest.
+type Cart struct {
+	Comm     *Comm
+	dims     []int
+	periodic []bool
+}
+
+// CartCreate builds a Cartesian topology. The product of dims must equal
+// the communicator size.
+func (c *Comm) CartCreate(dims []int, periodic []bool) *Cart {
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			panic("mpi: nonpositive Cartesian dimension")
+		}
+		n *= d
+	}
+	if n != c.Size() {
+		panic(fmt.Sprintf("mpi: Cartesian grid %v has %d cells for %d ranks", dims, n, c.Size()))
+	}
+	if len(periodic) != len(dims) {
+		panic("mpi: dims/periodic length mismatch")
+	}
+	return &Cart{
+		Comm:     c,
+		dims:     append([]int(nil), dims...),
+		periodic: append([]bool(nil), periodic...),
+	}
+}
+
+// DimsCreate factors n ranks into ndims balanced dimensions
+// (MPI_Dims_create).
+func DimsCreate(n, ndims int) []int {
+	dims := make([]int, ndims)
+	for i := range dims {
+		dims[i] = 1
+	}
+	for f := 2; n > 1; {
+		for n%f != 0 {
+			f++
+		}
+		// Multiply the smallest dimension by the factor.
+		small := 0
+		for i := 1; i < ndims; i++ {
+			if dims[i] < dims[small] {
+				small = i
+			}
+		}
+		dims[small] *= f
+		n /= f
+	}
+	return dims
+}
+
+// Coords returns the Cartesian coordinates of a rank (MPI_Cart_coords).
+func (ct *Cart) Coords(rank int) []int {
+	coords := make([]int, len(ct.dims))
+	for i := len(ct.dims) - 1; i >= 0; i-- {
+		coords[i] = rank % ct.dims[i]
+		rank /= ct.dims[i]
+	}
+	return coords
+}
+
+// Rank returns the rank at the given coordinates (MPI_Cart_rank).
+// Out-of-range coordinates in periodic dimensions wrap; in non-periodic
+// dimensions they yield -1 (MPI_PROC_NULL).
+func (ct *Cart) Rank(coords []int) int {
+	rank := 0
+	for i, c := range coords {
+		d := ct.dims[i]
+		if c < 0 || c >= d {
+			if !ct.periodic[i] {
+				return -1
+			}
+			c = ((c % d) + d) % d
+		}
+		rank = rank*d + c
+	}
+	return rank
+}
+
+// Shift returns the source and destination ranks for a shift of disp along
+// dim (MPI_Cart_shift): data flows source -> me -> dest. Either may be -1
+// at a non-periodic boundary.
+func (ct *Cart) Shift(dim, disp int) (source, dest int) {
+	me := ct.Coords(ct.Comm.Rank())
+	src := append([]int(nil), me...)
+	dst := append([]int(nil), me...)
+	src[dim] -= disp
+	dst[dim] += disp
+	return ct.Rank(src), ct.Rank(dst)
+}
+
+// SendrecvShift exchanges buffers with the shift neighbors along dim,
+// handling boundaries (nil exchanges at MPI_PROC_NULL).
+func (ct *Cart) SendrecvShift(p *sim.Proc, dim, disp int, sendBuf, recvBuf []byte, tag int) bool {
+	src, dst := ct.Shift(dim, disp)
+	var reqs []*Request
+	if src >= 0 {
+		reqs = append(reqs, ct.Comm.Irecv(p, recvBuf, src, tag))
+	}
+	if dst >= 0 {
+		reqs = append(reqs, ct.Comm.Isend(p, sendBuf, dst, tag))
+	}
+	WaitAll(p, reqs...)
+	return src >= 0
+}
+
+// ReduceScatterBlock reduces equal-size blocks across the communicator and
+// scatters block r to rank r (MPI_Reduce_scatter_block). recvBuf receives
+// this rank's reduced block; sendBuf holds Size() blocks of len(recvBuf)
+// bytes.
+func (c *Comm) ReduceScatterBlock(p *sim.Proc, sendBuf, recvBuf []byte, dt Datatype, op ReduceOp) {
+	n := c.Size()
+	bs := len(recvBuf)
+	if len(sendBuf) < n*bs {
+		panic("mpi: ReduceScatterBlock send buffer too small")
+	}
+	// Reduce the whole vector to rank 0, then scatter blocks.
+	var full []byte
+	if c.Rank() == 0 {
+		full = make([]byte, n*bs)
+	}
+	c.Reduce(p, sendBuf, full, dt, op, 0)
+	c.Scatter(p, full, recvBuf, 0)
+}

@@ -1,0 +1,152 @@
+package nas
+
+import (
+	"splapi/internal/mpi"
+	"splapi/internal/sim"
+)
+
+// CG parameters: global unknowns, matrix half-bandwidth, and iterations.
+// The band of 256 makes each halo exchange a 2 KB message — CG's signature
+// neighbor traffic.
+const (
+	cgRanks = 4
+	cgN     = 16384
+	cgBand  = 256
+	cgIters = 12
+)
+
+// cgMatvec computes y = A x for the symmetric banded test matrix
+//
+//	A[i][i] = 2.5 + (i mod 7) * 0.01,  A[i][i±band] = -1
+//
+// over global rows [lo, hi). x must cover [lo-band, hi+band) clamped to the
+// domain, indexed so that x[i-lo+band] is global element i.
+func cgMatvec(y, x []float64, lo, hi int) float64 {
+	for i := lo; i < hi; i++ {
+		v := (2.5 + float64(i%7)*0.01) * x[i-lo+cgBand]
+		if i-cgBand >= 0 {
+			v -= x[i-lo]
+		}
+		if i+cgBand < cgN {
+			v -= x[i-lo+2*cgBand]
+		}
+		y[i-lo] = v
+	}
+	return float64(hi-lo) * 6
+}
+
+func cgDot(a, b []float64) (float64, float64) {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s, float64(2 * len(a))
+}
+
+// CG runs conjugate-gradient iterations on the banded system: every matvec
+// exchanges band-wide halos with both neighbors and every dot product is a
+// global reduction (Section 6.2 reports a solid improvement for CG).
+func CG() Kernel {
+	run := func(p *sim.Proc, env *Env) float64 {
+		w := env.W
+		nr := w.Size()
+		rows := cgN / nr
+		lo, hi := w.Rank()*rows, (w.Rank()+1)*rows
+
+		// Local vectors; x carries halo wings of cgBand on each side.
+		haloBuf := make([]byte, 8*cgBand)
+		x := make([]float64, rows+2*cgBand)
+		r := make([]float64, rows)
+		d := make([]float64, rows+2*cgBand)
+		q := make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			r[i] = 1.0 + float64((lo+i)%13)*0.1 // b, with x0 = 0
+			d[i+cgBand] = r[i]
+		}
+
+		allreduce1 := func(v float64) float64 {
+			out := make([]byte, 8)
+			w.Allreduce(p, mpi.Float64Slice([]float64{v}), out, mpi.Float64, mpi.OpSum)
+			res := make([]float64, 1)
+			mpi.PutFloat64Slice(res, out)
+			return res[0]
+		}
+		// exchangeHalo fills v's wings from the neighbors' edge bands.
+		exchangeHalo := func(v []float64) {
+			me := w.Rank()
+			if me > 0 {
+				w.Sendrecv(p,
+					mpi.Float64Slice(v[cgBand:2*cgBand]), me-1, 1,
+					haloBuf, me-1, 2)
+				mpi.PutFloat64Slice(v[:cgBand], haloBuf)
+			}
+			if me < nr-1 {
+				w.Sendrecv(p,
+					mpi.Float64Slice(v[rows:rows+cgBand]), me+1, 2,
+					haloBuf, me+1, 1)
+				mpi.PutFloat64Slice(v[rows+cgBand:], haloBuf)
+			}
+		}
+
+		rho, fl := cgDot(r, r)
+		env.Compute(p, fl)
+		rho = allreduce1(rho)
+		for it := 0; it < cgIters; it++ {
+			exchangeHalo(d)
+			fl = cgMatvec(q, d, lo, hi)
+			env.Compute(p, fl)
+			dq, fl2 := cgDot(d[cgBand:cgBand+rows], q)
+			env.Compute(p, fl2)
+			alpha := rho / allreduce1(dq)
+			for i := 0; i < rows; i++ {
+				x[i+cgBand] += alpha * d[i+cgBand]
+				r[i] -= alpha * q[i]
+			}
+			env.Compute(p, float64(4*rows))
+			rhoNew, fl3 := cgDot(r, r)
+			env.Compute(p, fl3)
+			rhoNew = allreduce1(rhoNew)
+			beta := rhoNew / rho
+			rho = rhoNew
+			for i := 0; i < rows; i++ {
+				d[i+cgBand] = r[i] + beta*d[i+cgBand]
+			}
+			env.Compute(p, float64(2*rows))
+		}
+		sum, _ := cgDot(x[cgBand:cgBand+rows], x[cgBand:cgBand+rows])
+		return allreduce1(sum) + rho
+	}
+	return Kernel{
+		Name: "CG",
+		Tol:  1e-5, // reduction order differs between tree and serial sums
+		Run:  run,
+		Serial: func() float64 {
+			x := make([]float64, cgN+2*cgBand)
+			r := make([]float64, cgN)
+			d := make([]float64, cgN+2*cgBand)
+			q := make([]float64, cgN)
+			for i := 0; i < cgN; i++ {
+				r[i] = 1.0 + float64(i%13)*0.1
+				d[i+cgBand] = r[i]
+			}
+			rho, _ := cgDot(r, r)
+			for it := 0; it < cgIters; it++ {
+				cgMatvec(q, d, 0, cgN)
+				dq, _ := cgDot(d[cgBand:cgBand+cgN], q)
+				alpha := rho / dq
+				for i := 0; i < cgN; i++ {
+					x[i+cgBand] += alpha * d[i+cgBand]
+					r[i] -= alpha * q[i]
+				}
+				rhoNew, _ := cgDot(r, r)
+				beta := rhoNew / rho
+				rho = rhoNew
+				for i := 0; i < cgN; i++ {
+					d[i+cgBand] = r[i] + beta*d[i+cgBand]
+				}
+			}
+			sum, _ := cgDot(x[cgBand:cgBand+cgN], x[cgBand:cgBand+cgN])
+			return sum + rho
+		},
+	}
+}

@@ -1,0 +1,85 @@
+package nas
+
+import (
+	"math"
+
+	"splapi/internal/mpi"
+	"splapi/internal/sim"
+)
+
+// EP parameters: samples per rank and the number of annulus bins.
+const (
+	epRanks   = 4
+	epPerRank = 1 << 15
+	epBins    = 10
+)
+
+// epLocal generates pairs of uniform deviates for one rank's stream,
+// accepts those inside the unit circle, transforms them to Gaussian pairs
+// (Box-Muller, as NAS EP does), and tallies them by annulus
+// max(|X|,|Y|) bin. It returns the bin counts and the coordinate sums.
+func epLocal(rank int) (counts [epBins]float64, sx, sy float64, flops float64) {
+	g := newLCG(271828183 + uint64(rank)*9973)
+	for i := 0; i < epPerRank; i++ {
+		x := 2*g.next() - 1
+		y := 2*g.next() - 1
+		t := x*x + y*y
+		flops += 10
+		if t > 1 || t == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(t) / t)
+		gx, gy := x*f, y*f
+		sx += gx
+		sy += gy
+		m := math.Max(math.Abs(gx), math.Abs(gy))
+		b := int(m)
+		if b >= epBins {
+			b = epBins - 1
+		}
+		counts[b]++
+		flops += 25
+	}
+	return
+}
+
+func epChecksum(counts []float64, sx, sy float64) float64 {
+	sum := sx*1e-3 + sy*1e-3
+	for i, c := range counts {
+		sum += c * float64(i+1)
+	}
+	return sum
+}
+
+// EP is the embarrassingly parallel kernel: pure local computation with a
+// single global reduction at the end, so it exercises almost no
+// communication (Section 6.2 reports under-1% improvement for it).
+func EP() Kernel {
+	return Kernel{
+		Name: "EP",
+		Tol:  1e-6,
+		Run: func(p *sim.Proc, env *Env) float64 {
+			counts, sx, sy, flops := epLocal(env.W.Rank())
+			env.Compute(p, flops)
+			local := append([]float64{sx, sy}, counts[:]...)
+			out := make([]byte, 8*len(local))
+			env.W.Allreduce(p, mpi.Float64Slice(local), out, mpi.Float64, mpi.OpSum)
+			global := make([]float64, len(local))
+			mpi.PutFloat64Slice(global, out)
+			return epChecksum(global[2:], global[0], global[1])
+		},
+		Serial: func() float64 {
+			var counts [epBins]float64
+			var sx, sy float64
+			for r := 0; r < epRanks; r++ {
+				c, x, y, _ := epLocal(r)
+				for i := range counts {
+					counts[i] += c[i]
+				}
+				sx += x
+				sy += y
+			}
+			return epChecksum(counts[:], sx, sy)
+		},
+	}
+}

@@ -1,0 +1,56 @@
+package nas
+
+import "math"
+
+// fft computes an in-place radix-2 decimation-in-time FFT of a complex
+// vector given as interleaved re/im pairs. n must be a power of two.
+// inverse applies the conjugate transform scaled by 1/n.
+func fft(data []float64, inverse bool) {
+	n := len(data) / 2
+	if n&(n-1) != 0 {
+		panic("nas: fft length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			data[2*i], data[2*j] = data[2*j], data[2*i]
+			data[2*i+1], data[2*j+1] = data[2*j+1], data[2*i+1]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wr, wi := math.Cos(ang), math.Sin(ang)
+		for start := 0; start < n; start += length {
+			cwr, cwi := 1.0, 0.0
+			for k := 0; k < length/2; k++ {
+				a, b := start+k, start+k+length/2
+				ur, ui := data[2*a], data[2*a+1]
+				vr := data[2*b]*cwr - data[2*b+1]*cwi
+				vi := data[2*b]*cwi + data[2*b+1]*cwr
+				data[2*a], data[2*a+1] = ur+vr, ui+vi
+				data[2*b], data[2*b+1] = ur-vr, ui-vi
+				cwr, cwi = cwr*wr-cwi*wi, cwr*wi+cwi*wr
+			}
+		}
+	}
+	if inverse {
+		inv := 1 / float64(n)
+		for i := range data {
+			data[i] *= inv
+		}
+	}
+}
+
+// fftFlops is the approximate flop count of one n-point FFT.
+func fftFlops(n int) float64 {
+	return 5 * float64(n) * math.Log2(float64(n))
+}

@@ -1,0 +1,157 @@
+package nas
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+// dftRef is a direct O(n^2) DFT for verifying the FFT.
+func dftRef(data []float64, inverse bool) []float64 {
+	n := len(data) / 2
+	out := make([]float64, len(data))
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for j := 0; j < n; j++ {
+			x := complex(data[2*j], data[2*j+1])
+			w := cmplx.Exp(complex(0, sign*2*math.Pi*float64(k*j)/float64(n)))
+			acc += x * w
+		}
+		if inverse {
+			acc /= complex(float64(n), 0)
+		}
+		out[2*k] = real(acc)
+		out[2*k+1] = imag(acc)
+	}
+	return out
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 64} {
+		data := make([]float64, 2*n)
+		g := newLCG(97)
+		for i := range data {
+			data[i] = 2*g.next() - 1
+		}
+		want := dftRef(data, false)
+		got := append([]float64(nil), data...)
+		fft(got, false)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d: fft[%d]=%g, dft=%g", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFTInverseRoundtrip(t *testing.T) {
+	prop := func(seed uint32) bool {
+		n := 32
+		data := make([]float64, 2*n)
+		g := newLCG(uint64(seed) + 1)
+		for i := range data {
+			data[i] = 2*g.next() - 1
+		}
+		out := append([]float64(nil), data...)
+		fft(out, false)
+		fft(out, true)
+		for i := range data {
+			if math.Abs(out[i]-data[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Energy conservation: sum |x|^2 == (1/n) sum |X|^2.
+	n := 128
+	data := make([]float64, 2*n)
+	g := newLCG(12345)
+	for i := range data {
+		data[i] = 2*g.next() - 1
+	}
+	var eIn float64
+	for i := 0; i < n; i++ {
+		eIn += data[2*i]*data[2*i] + data[2*i+1]*data[2*i+1]
+	}
+	fft(data, false)
+	var eOut float64
+	for i := 0; i < n; i++ {
+		eOut += data[2*i]*data[2*i] + data[2*i+1]*data[2*i+1]
+	}
+	if math.Abs(eOut/float64(n)-eIn) > 1e-9*eIn {
+		t.Fatalf("Parseval violated: in=%g out/n=%g", eIn, eOut/float64(n))
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fft must reject non-power-of-two lengths")
+		}
+	}()
+	fft(make([]float64, 2*12), false)
+}
+
+func TestLCGProperties(t *testing.T) {
+	g := newLCG(271828183)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := g.next()
+		if v <= 0 || v >= 1 {
+			t.Fatalf("sample %d out of (0,1): %g", i, v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean %g far from 0.5", mean)
+	}
+	// Same seed reproduces the stream.
+	a, b := newLCG(7), newLCG(7)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("lcg not reproducible")
+		}
+	}
+}
+
+func TestLCGNextNInRange(t *testing.T) {
+	prop := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		g := newLCG(uint64(seed))
+		for i := 0; i < 50; i++ {
+			v := g.nextN(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerialChecksumsStable(t *testing.T) {
+	// Serial references must be deterministic (they anchor verification).
+	for _, k := range Suite() {
+		a, b := k.Serial(), k.Serial()
+		if a != b {
+			t.Fatalf("%s serial reference nondeterministic: %g vs %g", k.Name, a, b)
+		}
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			t.Fatalf("%s serial checksum is %g", k.Name, a)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package nas
+
+import (
+	"sort"
+
+	"splapi/internal/mpi"
+	"splapi/internal/sim"
+)
+
+// IS parameters: keys per rank, key range, and ranking iterations.
+const (
+	isRanks   = 4
+	isPerRank = 1 << 13
+	isMaxKey  = 1 << 17
+	isIters   = 8
+)
+
+// isKeys generates rank r's key array (regenerated identically each
+// iteration, as NAS IS does).
+func isKeys(rank, iter int) []int32 {
+	g := newLCG(314159265 + uint64(rank)*131071 + uint64(iter)*8191)
+	keys := make([]int32, isPerRank)
+	for i := range keys {
+		keys[i] = int32(g.nextN(isMaxKey))
+	}
+	return keys
+}
+
+// isOwner maps a key to the rank owning its bucket range.
+func isOwner(key int32, ranks int) int {
+	return int(key) * ranks / isMaxKey
+}
+
+func isChecksum(sorted []int32, base float64) float64 {
+	sum := base
+	for i, k := range sorted {
+		sum += float64(k) * float64(i%17+1) * 1e-7
+	}
+	return sum
+}
+
+// IS is the integer sort kernel: each iteration builds a local histogram,
+// exchanges bucket ownership via all-to-all-v, and sorts locally — the
+// bucket exchange's medium-size messages are IS's signature communication
+// (Section 6.2 reports one of the largest improvements for it).
+func IS() Kernel {
+	serialIter := func(iter int) []int32 {
+		var all []int32
+		for r := 0; r < isRanks; r++ {
+			all = append(all, isKeys(r, iter)...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		return all
+	}
+	return Kernel{
+		Name: "IS",
+		Tol:  1e-6,
+		Run: func(p *sim.Proc, env *Env) float64 {
+			w := env.W
+			n := w.Size()
+			sum := 0.0
+			for iter := 0; iter < isIters; iter++ {
+				keys := isKeys(w.Rank(), iter)
+				// Partition keys by owner bucket.
+				byOwner := make([][]int32, n)
+				for _, k := range keys {
+					o := isOwner(k, n)
+					byOwner[o] = append(byOwner[o], k)
+				}
+				env.Compute(p, float64(len(keys))*4)
+				// Exchange counts, then keys (alltoallv).
+				sendCounts := make([]int, n)
+				sendDispls := make([]int, n)
+				var sendBuf []byte
+				for o := 0; o < n; o++ {
+					sendDispls[o] = len(sendBuf)
+					sendBuf = append(sendBuf, mpi.Int32Slice(byOwner[o])...)
+					sendCounts[o] = 4 * len(byOwner[o])
+				}
+				cntOut := make([]byte, 4*n*n)
+				counts32 := make([]int32, n)
+				for o := 0; o < n; o++ {
+					counts32[o] = int32(sendCounts[o])
+				}
+				w.Allgather(p, mpi.Int32Slice(counts32), cntOut)
+				allCounts := make([]int32, n*n)
+				mpi.PutInt32Slice(allCounts, cntOut)
+				recvCounts := make([]int, n)
+				recvDispls := make([]int, n)
+				total := 0
+				for src := 0; src < n; src++ {
+					recvDispls[src] = total
+					recvCounts[src] = int(allCounts[src*n+w.Rank()])
+					total += recvCounts[src]
+				}
+				recvBuf := make([]byte, total)
+				w.Alltoallv(p, sendBuf, sendCounts, sendDispls, recvBuf, recvCounts, recvDispls)
+				mine := make([]int32, total/4)
+				mpi.PutInt32Slice(mine, recvBuf)
+				sort.Slice(mine, func(i, j int) bool { return mine[i] < mine[j] })
+				env.Compute(p, float64(len(mine))*20) // counting sort pass
+				sum = isChecksum(mine, sum)
+			}
+			// Make the checksum global: every rank contributes its part.
+			out := make([]byte, 8)
+			w.Allreduce(p, mpi.Float64Slice([]float64{sum}), out, mpi.Float64, mpi.OpSum)
+			res := make([]float64, 1)
+			mpi.PutFloat64Slice(res, out)
+			return res[0]
+		},
+		Serial: func() float64 {
+			sums := make([]float64, isRanks)
+			for iter := 0; iter < isIters; iter++ {
+				all := serialIter(iter)
+				// Split the globally sorted array at bucket boundaries, as
+				// the distributed version does, and checksum per bucket.
+				at := 0
+				for r := 0; r < isRanks; r++ {
+					end := at
+					for end < len(all) && isOwner(all[end], isRanks) == r {
+						end++
+					}
+					sums[r] = isChecksum(all[at:end], sums[r])
+					at = end
+				}
+			}
+			total := 0.0
+			for _, s := range sums {
+				total += s
+			}
+			return total
+		},
+	}
+}

@@ -1,0 +1,77 @@
+package nas_test
+
+import (
+	"math"
+	"testing"
+
+	"splapi/internal/bench"
+	"splapi/internal/cluster"
+	"splapi/internal/nas"
+)
+
+// TestKernelsVerifyOnBothStacks checks every kernel's distributed checksum
+// against its serial reference on both protocol stacks.
+func TestKernelsVerifyOnBothStacks(t *testing.T) {
+	for _, k := range nas.Suite() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			want := k.Serial()
+			for _, stack := range []cluster.Stack{cluster.Native, cluster.LAPIEnhanced} {
+				res := bench.RunNASKernel(k, stack)
+				if !res.Verified {
+					t.Fatalf("%s on %v: checksum %g, serial %g (tol %g)",
+						k.Name, stack, res.Checksum, want, k.Tol)
+				}
+				if res.Time <= 0 {
+					t.Fatalf("%s on %v: nonpositive execution time %v", k.Name, stack, res.Time)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelsDeterministic ensures the same kernel on the same stack yields
+// identical virtual times across runs.
+func TestKernelsDeterministic(t *testing.T) {
+	k, err := nas.ByName("CG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := bench.RunNASKernel(k, cluster.LAPIEnhanced)
+	b := bench.RunNASKernel(k, cluster.LAPIEnhanced)
+	if a.Time != b.Time || a.Checksum != b.Checksum {
+		t.Fatalf("nondeterministic: %v/%g vs %v/%g", a.Time, a.Checksum, b.Time, b.Checksum)
+	}
+}
+
+// TestSection62Shape asserts the paper's qualitative Section 6.2 findings:
+// the communication-heavy kernels improve materially under MPI-LAPI while
+// EP and MG stay within a small band of zero.
+func TestSection62Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full NAS suite in -short mode")
+	}
+	imp := bench.NASImprovements()
+	for _, name := range []string{"LU", "IS", "CG", "BT", "FT"} {
+		if imp[name] < 3 {
+			t.Errorf("%s improvement = %.1f%%, want >= 3%% (Section 6.2)", name, imp[name])
+		}
+	}
+	for _, name := range []string{"EP", "MG"} {
+		if math.Abs(imp[name]) > 4 {
+			t.Errorf("%s improvement = %.1f%%, want within ±4%% (Section 6.2: negligible)", name, imp[name])
+		}
+	}
+	if imp["SP"] >= imp["BT"] {
+		t.Errorf("SP improvement (%.1f%%) should stay below BT's (%.1f%%): SP's scalar messages are smaller", imp["SP"], imp["BT"])
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := nas.ByName("CG"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nas.ByName("XX"); err == nil {
+		t.Fatal("expected error for unknown kernel")
+	}
+}

@@ -1,0 +1,320 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation kernel with a virtual nanosecond clock.
+//
+// The kernel executes exactly one logical thread of control at a time: either
+// the engine's event loop or a single simulated process. Control is passed
+// between goroutines with a single "token", so simulated code never races
+// with other simulated code even though each process is a real goroutine.
+// This makes the whole simulation deterministic: given the same seed and the
+// same program, every virtual timestamp is identical on every run.
+//
+// Processes are spawned with Engine.Spawn and block using the primitives in
+// this package (Proc.Sleep, Cond.Wait, Resource.Acquire, Queue.Get, ...).
+// Callback events scheduled with Engine.At run in engine context and must not
+// block.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is virtual simulation time in nanoseconds.
+type Time int64
+
+// Common durations, for readability at call sites.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Micros reports t as a float number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// event is a scheduled callback.
+type event struct {
+	t    Time
+	seq  uint64 // tie-breaker: FIFO among same-time events
+	fn   func()
+	dead bool // cancelled
+	idx  int  // heap index
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event simulation engine. It owns the virtual clock
+// and the event queue. An Engine must be created with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	ctl     chan struct{} // token returned to the engine by a yielding proc
+	rng     *rand.Rand
+	procs   map[*Proc]struct{} // live (spawned, not finished) processes
+	blocked map[*Proc]struct{} // processes parked on a primitive
+	running bool
+	procSeq int
+	stopped bool // Stop was called; Run drains no further events
+	// procPanic carries a panic out of a process goroutine so Run can
+	// re-raise it on the caller's goroutine (where tests can recover it).
+	procPanic any
+}
+
+// NewEngine returns an engine whose clock starts at 0 and whose internal
+// random source is seeded with seed (determinism: same seed, same schedule).
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		ctl:     make(chan struct{}),
+		rng:     rand.New(rand.NewSource(seed)),
+		procs:   make(map[*Proc]struct{}),
+		blocked: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. It must only be
+// used from simulation context (engine callbacks or processes).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Timer is a handle to a scheduled callback, allowing cancellation.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. It reports whether the callback had not yet fired
+// (and therefore will never fire).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	return true
+}
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+// fn runs in engine context and must not block.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{t: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes. Pending events are
+// discarded and parked processes are killed.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty, the horizon is exceeded, or
+// Stop is called. horizon <= 0 means no horizon. It returns the number of
+// events executed. After the loop it force-kills any still-parked processes
+// so their goroutines exit (their pending work is abandoned).
+func (e *Engine) Run(horizon Time) int {
+	if e.running {
+		panic("sim: Engine.Run re-entered")
+	}
+	e.running = true
+	n := 0
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.dead {
+			continue
+		}
+		if horizon > 0 && ev.t > horizon {
+			e.now = horizon
+			break
+		}
+		e.now = ev.t
+		ev.fn()
+		n++
+		if e.procPanic != nil {
+			r := e.procPanic
+			e.procPanic = nil
+			e.running = false
+			panic(r)
+		}
+	}
+	e.running = false
+	e.killAll()
+	return n
+}
+
+// killAll resumes every parked process with the killed flag set so its
+// goroutine unwinds (see Proc.yield), then waits for it to exit.
+func (e *Engine) killAll() {
+	for len(e.blocked) > 0 {
+		var p *Proc
+		for q := range e.blocked {
+			if p == nil || q.id < p.id {
+				p = q
+			}
+		}
+		delete(e.blocked, p)
+		p.killed = true
+		p.resume <- struct{}{}
+		<-e.ctl
+	}
+}
+
+// Idle reports whether no events are pending.
+func (e *Engine) Idle() bool { return len(e.events) == 0 }
+
+// LiveProcs returns the number of spawned processes that have not finished.
+func (e *Engine) LiveProcs() int { return len(e.procs) }
+
+// BlockedProcs returns the number of processes parked on a primitive.
+func (e *Engine) BlockedProcs() int { return len(e.blocked) }
+
+// procKilled is the panic value used to unwind a killed process.
+type procKilled struct{}
+
+// Proc is a simulated process. Exactly one Proc (or the engine) runs at a
+// time. All methods must be called from the process's own goroutine.
+type Proc struct {
+	eng    *Engine
+	name   string
+	id     int
+	resume chan struct{}
+	killed bool
+	done   bool
+	onExit []func()
+}
+
+// Spawn creates a process named name running fn, starting at the current
+// virtual time (after already-scheduled same-time events).
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, id: e.procSeq, resume: make(chan struct{})}
+	e.procSeq++
+	e.procs[p] = struct{}{}
+	e.At(e.now, func() {
+		go p.run(fn)
+		p.resume <- struct{}{} // hand the token to the new process
+		<-e.ctl                // wait until it yields or finishes
+	})
+	return p
+}
+
+func (p *Proc) run(fn func(p *Proc)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(procKilled); !ok {
+				// A real panic from simulated code: carry it to the
+				// engine goroutine, where Run re-raises it.
+				p.eng.procPanic = r
+			}
+		}
+		p.done = true
+		delete(p.eng.procs, p)
+		for i := len(p.onExit) - 1; i >= 0; i-- {
+			p.onExit[i]()
+		}
+		p.eng.ctl <- struct{}{} // hand the token back to the engine
+	}()
+	<-p.resume // wait for the spawn event to hand us the token
+	if p.killed {
+		panic(procKilled{})
+	}
+	fn(p)
+}
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// OnExit registers fn to run (in the process goroutine) when the process
+// finishes or is killed. LIFO order.
+func (p *Proc) OnExit(fn func()) { p.onExit = append(p.onExit, fn) }
+
+// yield parks the process: the token goes back to the engine, and the
+// process sleeps until something sends on p.resume. If the process was
+// killed while parked, it unwinds.
+func (p *Proc) yield() {
+	p.eng.blocked[p] = struct{}{}
+	p.eng.ctl <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
+}
+
+// unpark schedules p to resume at time t. Must be called from sim context.
+func (p *Proc) unpark(t Time) {
+	e := p.eng
+	e.At(t, func() {
+		if p.done {
+			return
+		}
+		delete(e.blocked, p)
+		p.resume <- struct{}{}
+		<-e.ctl
+	})
+}
+
+// Sleep advances the process's virtual time by d (>= 0).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.unpark(p.eng.now + d)
+	p.yield()
+}
+
+// Yield lets all other ready work at the current time run before continuing.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,189 @@
+// Package switchnet models the SP's high-performance multistage
+// packet-switched switch.
+//
+// The model keeps the properties the paper's protocols depend on:
+//
+//   - four routes between every ordered node pair, selected round-robin, so
+//     consecutive packets of one message travel different routes;
+//   - per-route occupancy (congestion) plus a per-route latency skew, so
+//     packets genuinely arrive out of order and receivers must resequence or
+//     reassemble by offset;
+//   - finite bandwidth: each packet occupies its route for its serialization
+//     time;
+//   - optional fault injection (drop/duplicate) for exercising the
+//     reliability layers.
+//
+// The fabric itself is unreliable and unordered; reliability is the job of
+// the Pipes layer (native stack) and of LAPI's transport (new stack),
+// exactly as on the real machine.
+package switchnet
+
+import (
+	"fmt"
+
+	"splapi/internal/machine"
+	"splapi/internal/sim"
+)
+
+// Packet is one switch packet. Payload carries the upper-layer protocol
+// header and user data as real bytes; Wire is the total size serialized on
+// the wire (payload plus link framing).
+type Packet struct {
+	Src, Dst int
+	Payload  []byte
+	Wire     int
+	// Route is filled in by the fabric for observability.
+	Route int
+	// seq is a global injection sequence number used for reorder stats.
+	seq uint64
+}
+
+func (pk *Packet) String() string {
+	return fmt.Sprintf("pkt{%d->%d route=%d wire=%dB}", pk.Src, pk.Dst, pk.Route, pk.Wire)
+}
+
+// Stats are cumulative fabric counters.
+type Stats struct {
+	Injected   uint64
+	Delivered  uint64
+	Dropped    uint64
+	Duplicated uint64
+	// Reordered counts deliveries whose injection sequence number is lower
+	// than an earlier delivery for the same ordered pair.
+	Reordered uint64
+	BytesWire uint64
+}
+
+type route struct {
+	freeAt sim.Time
+	skew   sim.Time
+}
+
+type pair struct {
+	routes    []route
+	nextRoute int
+	// lastSeq is the highest injection seq delivered so far (reorder stat).
+	lastSeq uint64
+}
+
+// Fabric connects N ports. Delivery callbacks run in engine context at the
+// packet's arrival time and must not block.
+type Fabric struct {
+	eng     *sim.Engine
+	par     *machine.Params
+	n       int
+	deliver []func(*Packet)
+	pairs   map[[2]int]*pair
+	seq     uint64
+	stats   Stats
+}
+
+// New creates a fabric with n ports using the given cost model.
+func New(eng *sim.Engine, par *machine.Params, n int) *Fabric {
+	if n < 1 {
+		panic("switchnet: need at least one port")
+	}
+	return &Fabric{
+		eng:     eng,
+		par:     par,
+		n:       n,
+		deliver: make([]func(*Packet), n),
+		pairs:   make(map[[2]int]*pair),
+	}
+}
+
+// Ports returns the number of ports.
+func (f *Fabric) Ports() int { return f.n }
+
+// Stats returns a copy of the cumulative counters.
+func (f *Fabric) Stats() Stats { return f.stats }
+
+// AttachPort registers the delivery callback for a node. It must be called
+// once per node before any traffic is sent to it.
+func (f *Fabric) AttachPort(node int, deliver func(*Packet)) {
+	if f.deliver[node] != nil {
+		panic(fmt.Sprintf("switchnet: port %d attached twice", node))
+	}
+	f.deliver[node] = deliver
+}
+
+func (f *Fabric) pairState(src, dst int) *pair {
+	key := [2]int{src, dst}
+	ps := f.pairs[key]
+	if ps == nil {
+		ps = &pair{routes: make([]route, f.par.RoutesPerPair)}
+		for r := range ps.routes {
+			ps.routes[r].skew = sim.Time(r) * f.par.RouteSkew
+		}
+		f.pairs[key] = ps
+	}
+	return ps
+}
+
+// Send transports pkt from its source to its destination. ready is the time
+// the packet finishes injection at the source port (the fabric starts
+// transit no earlier). Must be called in simulation context.
+//
+// The packet transits the route selected round-robin for the ordered pair:
+// it waits for the route to be free, occupies it for its serialization time,
+// and arrives after the switch base latency plus the route's skew. Fault
+// injection may drop or duplicate it.
+func (f *Fabric) Send(pkt *Packet, ready sim.Time) {
+	if pkt.Src < 0 || pkt.Src >= f.n || pkt.Dst < 0 || pkt.Dst >= f.n {
+		panic(fmt.Sprintf("switchnet: bad endpoints %d->%d", pkt.Src, pkt.Dst))
+	}
+	if pkt.Wire < len(pkt.Payload) {
+		pkt.Wire = len(pkt.Payload) + f.par.LinkFrameBytes
+	}
+	pkt.seq = f.seq
+	f.seq++
+	f.stats.Injected++
+	f.stats.BytesWire += uint64(pkt.Wire)
+
+	if f.par.DropProb > 0 && f.eng.Rand().Float64() < f.par.DropProb {
+		f.stats.Dropped++
+		return
+	}
+
+	f.transit(pkt, ready)
+
+	if f.par.DupProb > 0 && f.eng.Rand().Float64() < f.par.DupProb {
+		f.stats.Duplicated++
+		dup := &Packet{Src: pkt.Src, Dst: pkt.Dst, Payload: pkt.Payload, Wire: pkt.Wire, seq: pkt.seq}
+		// The duplicate takes another trip slightly later, as if
+		// retransmitted by a confused link-level retry.
+		f.transit(dup, ready+f.par.SwitchBaseLatency)
+	}
+}
+
+func (f *Fabric) transit(pkt *Packet, ready sim.Time) {
+	now := f.eng.Now()
+	if ready < now {
+		ready = now
+	}
+	ps := f.pairState(pkt.Src, pkt.Dst)
+	r := ps.nextRoute
+	ps.nextRoute = (ps.nextRoute + 1) % len(ps.routes)
+	pkt.Route = r
+
+	rt := &ps.routes[r]
+	start := ready
+	if rt.freeAt > start {
+		start = rt.freeAt
+	}
+	ser := f.par.WireTime(pkt.Wire)
+	rt.freeAt = start + ser
+	arrival := start + ser + f.par.SwitchBaseLatency + rt.skew
+
+	f.eng.At(arrival, func() {
+		f.stats.Delivered++
+		if pkt.seq < ps.lastSeq {
+			f.stats.Reordered++
+		} else {
+			ps.lastSeq = pkt.seq
+		}
+		if cb := f.deliver[pkt.Dst]; cb != nil {
+			cb(pkt)
+		}
+	})
+}

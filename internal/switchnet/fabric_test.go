@@ -1,0 +1,168 @@
+package switchnet
+
+import (
+	"testing"
+
+	"splapi/internal/machine"
+	"splapi/internal/sim"
+)
+
+func testParams() machine.Params {
+	p := machine.SP332()
+	return p
+}
+
+func TestDeliveryLatency(t *testing.T) {
+	e := sim.NewEngine(1)
+	par := testParams()
+	f := New(e, &par, 2)
+	var arrived sim.Time
+	f.AttachPort(0, func(pkt *Packet) { t.Fatal("unexpected delivery to 0") })
+	f.AttachPort(1, func(pkt *Packet) { arrived = e.Now() })
+	payload := make([]byte, 100)
+	pkt := &Packet{Src: 0, Dst: 1, Payload: payload}
+	e.Spawn("send", func(p *sim.Proc) { f.Send(pkt, 0) })
+	e.Run(0)
+	wire := 100 + par.LinkFrameBytes
+	want := par.WireTime(wire) + par.SwitchBaseLatency // route 0: no skew
+	if arrived != want {
+		t.Fatalf("arrival = %v, want %v", arrived, want)
+	}
+	st := f.Stats()
+	if st.Injected != 1 || st.Delivered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRoundRobinRoutesAndSkewReorder(t *testing.T) {
+	e := sim.NewEngine(1)
+	par := testParams()
+	// Exaggerate the skew so consecutive packets definitely reorder.
+	par.RouteSkew = 50 * sim.Microsecond
+	f := New(e, &par, 2)
+	var routes []int
+	f.AttachPort(0, nil)
+	f.AttachPort(1, func(pkt *Packet) { routes = append(routes, pkt.Route) })
+	e.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			f.Send(&Packet{Src: 0, Dst: 1, Payload: make([]byte, 8)}, 0)
+		}
+	})
+	e.Run(0)
+	if len(routes) != 8 {
+		t.Fatalf("delivered %d, want 8", len(routes))
+	}
+	// All 4 routes must be used.
+	seen := map[int]bool{}
+	for _, r := range routes {
+		seen[r] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("routes used = %v, want all 4", seen)
+	}
+	if f.Stats().Reordered == 0 {
+		t.Fatal("expected out-of-order deliveries with large route skew")
+	}
+}
+
+func TestRouteOccupancySerializes(t *testing.T) {
+	e := sim.NewEngine(1)
+	par := testParams()
+	par.RoutesPerPair = 1 // force every packet onto one route
+	par.RouteSkew = 0
+	f := New(e, &par, 2)
+	var arrivals []sim.Time
+	f.AttachPort(0, nil)
+	f.AttachPort(1, func(pkt *Packet) { arrivals = append(arrivals, e.Now()) })
+	e.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			f.Send(&Packet{Src: 0, Dst: 1, Payload: make([]byte, 1000)}, 0)
+		}
+	})
+	e.Run(0)
+	ser := par.WireTime(1000 + par.LinkFrameBytes)
+	for i, a := range arrivals {
+		want := sim.Time(i+1)*ser + par.SwitchBaseLatency
+		if a != want {
+			t.Fatalf("arrival[%d] = %v, want %v (route must serialize)", i, a, want)
+		}
+	}
+}
+
+func TestDropInjection(t *testing.T) {
+	e := sim.NewEngine(7)
+	par := testParams()
+	par.DropProb = 0.5
+	f := New(e, &par, 2)
+	delivered := 0
+	f.AttachPort(0, nil)
+	f.AttachPort(1, func(pkt *Packet) { delivered++ })
+	const n = 1000
+	e.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			f.Send(&Packet{Src: 0, Dst: 1, Payload: make([]byte, 8)}, 0)
+		}
+	})
+	e.Run(0)
+	st := f.Stats()
+	if st.Dropped == 0 || delivered == 0 {
+		t.Fatalf("dropped=%d delivered=%d, want both nonzero", st.Dropped, delivered)
+	}
+	if int(st.Dropped)+delivered != n {
+		t.Fatalf("dropped+delivered = %d, want %d", int(st.Dropped)+delivered, n)
+	}
+	if st.Dropped < n/4 || st.Dropped > 3*n/4 {
+		t.Fatalf("drop count %d wildly off 50%% of %d", st.Dropped, n)
+	}
+}
+
+func TestDupInjection(t *testing.T) {
+	e := sim.NewEngine(7)
+	par := testParams()
+	par.DupProb = 1.0
+	f := New(e, &par, 2)
+	delivered := 0
+	f.AttachPort(0, nil)
+	f.AttachPort(1, func(pkt *Packet) { delivered++ })
+	e.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			f.Send(&Packet{Src: 0, Dst: 1, Payload: make([]byte, 8)}, 0)
+		}
+	})
+	e.Run(0)
+	if delivered != 10 {
+		t.Fatalf("delivered = %d, want 10 (every packet duplicated)", delivered)
+	}
+	if f.Stats().Duplicated != 5 {
+		t.Fatalf("dup stat = %d, want 5", f.Stats().Duplicated)
+	}
+}
+
+func TestDeterministicDeliveryTimes(t *testing.T) {
+	run := func() []sim.Time {
+		e := sim.NewEngine(99)
+		par := testParams()
+		par.DropProb = 0.1
+		f := New(e, &par, 2)
+		var ts []sim.Time
+		f.AttachPort(0, nil)
+		f.AttachPort(1, func(pkt *Packet) { ts = append(ts, e.Now()) })
+		e.Spawn("send", func(p *sim.Proc) {
+			for i := 0; i < 50; i++ {
+				f.Send(&Packet{Src: 0, Dst: 1, Payload: make([]byte, 64)}, 0)
+				p.Sleep(sim.Microsecond)
+			}
+		})
+		e.Run(0)
+		return ts
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

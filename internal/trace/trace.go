@@ -1,0 +1,157 @@
+// Package trace collects and reports per-layer statistics from a simulated
+// cluster run: fabric counters, adapter and HAL activity, and protocol
+// behaviour (retransmissions, acknowledgements, matching outcomes). It is
+// the observability companion to the benchmark harness — the paper's
+// explanations ("the extra copies", "the context switches") become visible
+// numbers.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"splapi/internal/adapter"
+	"splapi/internal/cluster"
+	"splapi/internal/hal"
+	"splapi/internal/lapi"
+	"splapi/internal/mpci"
+	"splapi/internal/pipes"
+	"splapi/internal/switchnet"
+)
+
+// NodeReport is one node's layered counters. Pipes/LAPI/Provider are nil
+// when the stack does not include that layer.
+type NodeReport struct {
+	Node     int
+	Adapter  adapter.Stats
+	HAL      hal.Stats
+	Pipes    *pipes.Stats
+	LAPI     *lapi.Stats
+	Provider *mpci.ProviderStats
+}
+
+// Report is a full-cluster snapshot.
+type Report struct {
+	Stack  string
+	Nodes  int
+	Fabric switchnet.Stats
+	Per    []NodeReport
+}
+
+// Collect snapshots every layer of the cluster.
+func Collect(c *cluster.Cluster) *Report {
+	r := &Report{Stack: c.Stack.String(), Nodes: len(c.HALs), Fabric: c.Fabric.Stats()}
+	for i := range c.HALs {
+		nr := NodeReport{Node: i, Adapter: c.Adapters[i].Stats(), HAL: c.HALs[i].Stats()}
+		if i < len(c.Pipes) {
+			st := c.Pipes[i].Stats()
+			nr.Pipes = &st
+		}
+		if i < len(c.LAPIs) {
+			st := c.LAPIs[i].Stats()
+			nr.LAPI = &st
+		}
+		if i < len(c.Provs) {
+			switch pr := c.Provs[i].(type) {
+			case *mpci.NativeProvider:
+				st := pr.Stats()
+				nr.Provider = &st
+			case *mpci.LAPIProvider:
+				st := pr.Stats()
+				nr.Provider = &st
+			}
+		}
+		r.Per = append(r.Per, nr)
+	}
+	return r
+}
+
+// TotalPacketsSent sums HAL packets across nodes.
+func (r *Report) TotalPacketsSent() uint64 {
+	var n uint64
+	for _, p := range r.Per {
+		n += p.HAL.PacketsSent
+	}
+	return n
+}
+
+// TotalRetransmits sums protocol retransmissions across nodes.
+func (r *Report) TotalRetransmits() uint64 {
+	var n uint64
+	for _, p := range r.Per {
+		if p.Pipes != nil {
+			n += p.Pipes.Retransmits
+		}
+		if p.LAPI != nil {
+			n += p.LAPI.Retransmits
+		}
+	}
+	return n
+}
+
+// WireOverheadRatio is bytes-on-wire divided by application payload
+// delivered (1.0 would be a perfect, overhead-free transport).
+func (r *Report) WireOverheadRatio() float64 {
+	var payload uint64
+	for _, p := range r.Per {
+		if p.Pipes != nil {
+			payload += p.Pipes.BytesDeliver
+		}
+		if p.Provider != nil && p.Pipes == nil {
+			payload += p.Provider.BytesRecved
+		}
+	}
+	if payload == 0 {
+		return 0
+	}
+	return float64(r.Fabric.BytesWire) / float64(payload)
+}
+
+// Consistent verifies cross-layer conservation invariants, returning a
+// non-nil error describing the first violation.
+func (r *Report) Consistent() error {
+	f := r.Fabric
+	if f.Delivered+f.Dropped != f.Injected+f.Duplicated {
+		return fmt.Errorf("fabric: delivered %d + dropped %d != injected %d + duplicated %d",
+			f.Delivered, f.Dropped, f.Injected, f.Duplicated)
+	}
+	var adapterRecv, halRecv, fifoDrops uint64
+	for _, p := range r.Per {
+		adapterRecv += p.Adapter.Received
+		halRecv += p.HAL.PacketsRecvd
+		fifoDrops += p.Adapter.FIFODrops
+	}
+	if adapterRecv+fifoDrops != f.Delivered {
+		return fmt.Errorf("adapters received %d + dropped %d != fabric delivered %d",
+			adapterRecv, fifoDrops, f.Delivered)
+	}
+	if halRecv > adapterRecv {
+		return fmt.Errorf("HAL dispatched %d > adapters received %d", halRecv, adapterRecv)
+	}
+	return nil
+}
+
+// Print writes the report as an aligned table.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "cluster report: stack=%s nodes=%d\n", r.Stack, r.Nodes)
+	fmt.Fprintf(w, "  fabric: injected=%d delivered=%d dropped=%d dup=%d reordered=%d wire=%dB\n",
+		r.Fabric.Injected, r.Fabric.Delivered, r.Fabric.Dropped, r.Fabric.Duplicated,
+		r.Fabric.Reordered, r.Fabric.BytesWire)
+	fmt.Fprintf(w, "  wire overhead ratio: %.3f\n", r.WireOverheadRatio())
+	for _, p := range r.Per {
+		fmt.Fprintf(w, "  node %d: hal sent=%d recvd=%d intr=%d fifoDrops=%d\n",
+			p.Node, p.HAL.PacketsSent, p.HAL.PacketsRecvd, p.Adapter.Interrupts, p.Adapter.FIFODrops)
+		if p.Pipes != nil {
+			fmt.Fprintf(w, "          pipes rtx=%d dups=%d acks=%d ooo=%d stalls=%d\n",
+				p.Pipes.Retransmits, p.Pipes.DupsDropped, p.Pipes.AcksSent, p.Pipes.OutOfOrder, p.Pipes.WindowStalls)
+		}
+		if p.LAPI != nil {
+			fmt.Fprintf(w, "          lapi msgs=%d rtx=%d hdrHdl=%d cmplThr=%d cmplInl=%d cntrUpd=%d\n",
+				p.LAPI.MsgsSent, p.LAPI.Retransmits, p.LAPI.HdrHandlers, p.LAPI.CmplThreaded, p.LAPI.CmplInline, p.LAPI.CounterUpdates)
+		}
+		if p.Provider != nil {
+			fmt.Fprintf(w, "          mpci eager=%d rdv=%d matched=%d unexpected=%d\n",
+				p.Provider.EagerSends, p.Provider.RdvSends, p.Provider.Matched, p.Provider.Unexpected)
+		}
+	}
+}

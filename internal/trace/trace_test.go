@@ -1,0 +1,102 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"splapi/internal/cluster"
+	"splapi/internal/machine"
+	"splapi/internal/mpci"
+	"splapi/internal/mpi"
+	"splapi/internal/sim"
+	"splapi/internal/trace"
+)
+
+// runWorkload exchanges a mix of message sizes on the given stack and
+// returns the collected report.
+func runWorkload(t *testing.T, stack cluster.Stack, mut func(*machine.Params)) *trace.Report {
+	t.Helper()
+	par := machine.SP332()
+	par.EagerLimit = 78
+	if mut != nil {
+		mut(&par)
+	}
+	c := cluster.New(cluster.Config{Nodes: 3, Stack: stack, Seed: 11, Params: &par})
+	c.RunMPI(60*sim.Second, func(p *sim.Proc, prov mpci.Provider) {
+		w := mpi.NewWorld(prov)
+		sizes := []int{8, 200, 5000, 40000}
+		for round, sz := range sizes {
+			buf := make([]byte, sz)
+			next := (w.Rank() + 1) % w.Size()
+			prev := (w.Rank() - 1 + w.Size()) % w.Size()
+			w.Sendrecv(p, buf, next, round, make([]byte, sz), prev, round)
+		}
+		w.Barrier(p)
+	})
+	return trace.Collect(c)
+}
+
+func TestReportConsistencyCleanFabric(t *testing.T) {
+	for _, stack := range []cluster.Stack{cluster.Native, cluster.LAPIEnhanced, cluster.LAPIBase} {
+		r := runWorkload(t, stack, nil)
+		if err := r.Consistent(); err != nil {
+			t.Fatalf("%v: %v", stack, err)
+		}
+		if r.TotalPacketsSent() == 0 {
+			t.Fatalf("%v: no packets recorded", stack)
+		}
+		if r.TotalRetransmits() != 0 {
+			t.Fatalf("%v: unexpected retransmits on a clean fabric: %d", stack, r.TotalRetransmits())
+		}
+		if ratio := r.WireOverheadRatio(); ratio < 1.0 || ratio > 3.0 {
+			t.Fatalf("%v: wire overhead ratio %.2f implausible", stack, ratio)
+		}
+	}
+}
+
+func TestReportConsistencyLossyFabric(t *testing.T) {
+	r := runWorkload(t, cluster.LAPIEnhanced, func(p *machine.Params) {
+		p.DropProb = 0.05
+		p.RetransmitTimeout = 400 * sim.Microsecond
+	})
+	if err := r.Consistent(); err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalRetransmits() == 0 {
+		t.Fatal("expected retransmits at 5% loss")
+	}
+	if r.Fabric.Dropped == 0 {
+		t.Fatal("fabric drop counter not recording")
+	}
+}
+
+func TestReportShowsDesignSignatures(t *testing.T) {
+	// The Base design must log threaded completions; Enhanced inline ones.
+	base := runWorkload(t, cluster.LAPIBase, nil)
+	enh := runWorkload(t, cluster.LAPIEnhanced, nil)
+	var thr, inl uint64
+	for _, p := range base.Per {
+		thr += p.LAPI.CmplThreaded
+	}
+	for _, p := range enh.Per {
+		inl += p.LAPI.CmplInline
+		if p.LAPI.CmplThreaded != 0 {
+			t.Fatal("enhanced design must not use threaded completions")
+		}
+	}
+	if thr == 0 || inl == 0 {
+		t.Fatalf("completion counters not recording: threaded=%d inline=%d", thr, inl)
+	}
+}
+
+func TestReportPrintIsReadable(t *testing.T) {
+	r := runWorkload(t, cluster.Native, nil)
+	var sb strings.Builder
+	r.Print(&sb)
+	out := sb.String()
+	for _, want := range []string{"stack=native", "fabric:", "pipes", "mpci"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
