@@ -4,6 +4,9 @@
 // Usage:
 //
 //	spsim -exp fig10|fig11|fig12|fig13|nas|table2|ablate-ctxswitch|ablate-copies|ablate-eager|generations|stats|all
+//	spsim -exp fig10 -json    # also write BENCH_fig10.json via the sweep harness
+//
+// For multi-seed parallel sweeps with dispersion statistics, use cmd/sweep.
 package main
 
 import (
@@ -12,10 +15,12 @@ import (
 	"os"
 
 	"splapi/internal/bench"
+	"splapi/internal/sweep"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (fig10, fig11, fig12, fig13, nas, table2, ablate-ctxswitch, ablate-copies, ablate-eager, generations, stats, all)")
+	jsonOut := flag.Bool("json", false, "additionally write BENCH_<exp>.json for registry experiments (single seed; use cmd/sweep for multi-seed)")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
@@ -78,5 +83,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "spsim: unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *jsonOut {
+		for _, e := range bench.Experiments() {
+			if !run(e.ID) {
+				continue
+			}
+			res, err := sweep.Run(e, sweep.Options{Seeds: 1})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "spsim:", err)
+				os.Exit(1)
+			}
+			path := "BENCH_" + e.ID + ".json"
+			if err := sweep.Save(path, res); err != nil {
+				fmt.Fprintln(os.Stderr, "spsim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
 	}
 }

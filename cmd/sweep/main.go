@@ -1,0 +1,135 @@
+// Command sweep runs the parallel multi-seed experiment harness and
+// persists machine-readable results.
+//
+// Usage:
+//
+//	sweep -exp fig10 -seeds 16 -par 8 -o BENCH_fig10.json
+//	sweep -exp all -seeds 8                  # every experiment, BENCH_<id>.json each
+//	sweep -exp fig12 -seeds 8 -drop 0.001    # fault-injected variant
+//	sweep -list                              # available experiments
+//	sweep -compare old.json new.json -tol 1  # flag >1% out-of-CI movements
+//
+// Results are bit-identical for any -par value: per-cell seeds are derived
+// from the cell identity, never from scheduling, and wall-clock cost is
+// reported on stdout rather than persisted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"splapi/internal/bench"
+	"splapi/internal/sweep"
+)
+
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id to sweep, or 'all'")
+		seeds    = flag.Int("seeds", 1, "repetitions per cell (distinct derived seeds)")
+		par      = flag.Int("par", 0, "worker-pool size (0 = GOMAXPROCS)")
+		baseSeed = flag.Int64("baseseed", 1, "base seed perturbing every derived seed")
+		out      = flag.String("o", "", "output file (default BENCH_<exp>.json)")
+		drop     = flag.Float64("drop", 0, "fabric drop probability override (matrix-level)")
+		dup      = flag.Float64("dup", 0, "fabric duplicate probability override (matrix-level)")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		compare  = flag.Bool("compare", false, "compare two result files: sweep -compare old.json new.json")
+		tol      = flag.Float64("tol", 0, "comparison tolerance in percent of the old median")
+		verbose  = flag.Bool("v", false, "verbose comparison output (include within-CI points)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-18s %3d cells  [%s]  %s\n", e.ID, len(e.Cells), e.Unit, e.Title)
+		}
+		return
+	}
+
+	if *compare {
+		args := flag.Args()
+		if len(args) > 2 {
+			// Flag parsing stops at the first positional operand, so
+			// "-compare old.json new.json -tol 1" leaves -tol unparsed;
+			// pick up any flags trailing the two file operands here.
+			flag.CommandLine.Parse(args[2:])
+			args = args[:2]
+		}
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "sweep: -compare needs exactly two result files")
+			os.Exit(2)
+		}
+		oldRes, err := sweep.Load(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(2)
+		}
+		newRes, err := sweep.Load(args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(2)
+		}
+		deltas, err := sweep.Compare(oldRes, newRes, *tol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(2)
+		}
+		sweep.PrintDeltas(os.Stdout, deltas, *verbose)
+		regs := sweep.Regressions(deltas)
+		if len(regs) > 0 {
+			fmt.Printf("%d regression(s) beyond the CI (+%g%% tolerance)\n", len(regs), *tol)
+			os.Exit(1)
+		}
+		fmt.Printf("no regressions (%d points compared, tolerance %g%%)\n", len(deltas), *tol)
+		return
+	}
+
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var exps []bench.Experiment
+	if *exp == "all" {
+		exps = bench.Experiments()
+	} else {
+		e, err := bench.FindExperiment(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			fmt.Fprintln(os.Stderr, "sweep: use -list to see available experiments")
+			os.Exit(2)
+		}
+		exps = []bench.Experiment{e}
+	}
+	git := gitDescribe()
+	for _, e := range exps {
+		opts := sweep.Options{
+			Seeds: *seeds, Par: *par, BaseSeed: *baseSeed,
+			DropProb: *drop, DupProb: *dup, GitDescribe: git,
+		}
+		res, err := sweep.Run(e, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		res.Print(os.Stdout)
+		path := *out
+		if path == "" || *exp == "all" {
+			path = "BENCH_" + e.ID + ".json"
+		}
+		if err := sweep.Save(path, res); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote %s\n\n", path)
+	}
+}

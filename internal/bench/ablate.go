@@ -62,19 +62,7 @@ func PrintTable2(w io.Writer) {
 // AblateCtxSwitch sweeps the thread context-switch cost and reports the
 // small-message latency of the Base design against Enhanced: the Section
 // 5.2 finding that the context switch dominates the Base design's overhead.
-func AblateCtxSwitch() []Series {
-	costs := []sim.Time{0, 7 * sim.Microsecond, 14 * sim.Microsecond, 28 * sim.Microsecond, 56 * sim.Microsecond}
-	out := []Series{{Label: "MPI-LAPI Base (64B)"}, {Label: "MPI-LAPI Enhanced (64B)"}}
-	for _, cost := range costs {
-		par := paperParams()
-		par.ThreadContextSwitch = cost
-		base := pingPongWithParams(cluster.LAPIBase, 64, &par)
-		enh := pingPongWithParams(cluster.LAPIEnhanced, 64, &par)
-		out[0].Points = append(out[0].Points, Point{int(cost / sim.Microsecond), base})
-		out[1].Points = append(out[1].Points, Point{int(cost / sim.Microsecond), enh})
-	}
-	return out
-}
+func AblateCtxSwitch() []Series { return SeriesOf(AblateCtxSwitchExperiment(), 1, nil) }
 
 // PrintAblateCtxSwitch prints the context-switch ablation; the x column is
 // the context-switch cost in microseconds.
@@ -90,25 +78,7 @@ func PrintAblateCtxSwitch(w io.Writer) {
 // AblateCopies disables the native stack's 16 KB head/tail copy rule
 // (PipeHeadTailCopyBytes = 0 charges every byte a single copy) to isolate
 // how much of the Figure 12 bandwidth gap the Section 2 copies explain.
-func AblateCopies() []Series {
-	sizes := []int{4096, 16384, 65536, 262144}
-	out := []Series{
-		{Label: "Native (16KB copy rule)"},
-		{Label: "Native (copies removed)"},
-		{Label: "MPI-LAPI Enhanced"},
-	}
-	for _, size := range sizes {
-		count := 64
-		par := paperParams()
-		out[0].Points = append(out[0].Points, Point{size, bandwidthWithParams(cluster.Native, size, count, &par)})
-		par2 := paperParams()
-		par2.PipeHeadTailCopyBytes = 0
-		out[1].Points = append(out[1].Points, Point{size, bandwidthWithParams(cluster.Native, size, count, &par2)})
-		par3 := paperParams()
-		out[2].Points = append(out[2].Points, Point{size, bandwidthWithParams(cluster.LAPIEnhanced, size, count, &par3)})
-	}
-	return out
-}
+func AblateCopies() []Series { return SeriesOf(AblateCopiesExperiment(), 1, nil) }
 
 // PrintAblateCopies prints the copy-rule ablation.
 func PrintAblateCopies(w io.Writer) {
@@ -117,19 +87,7 @@ func PrintAblateCopies(w io.Writer) {
 
 // AblateEager sweeps the eager limit and reports mid-size message latency
 // on the Enhanced stack: the buffer-space/latency tradeoff of Section 4.
-func AblateEager() []Series {
-	limits := []int{0, 78, 512, 4096, 16384}
-	out := []Series{{Label: "MPI-LAPI Enhanced (1KB)"}, {Label: "MPI-LAPI Enhanced (8KB)"}}
-	for _, lim := range limits {
-		par := paperParams()
-		par.EagerLimit = lim
-		out[0].Points = append(out[0].Points, Point{lim, pingPongWithParams(cluster.LAPIEnhanced, 1024, &par)})
-		par2 := paperParams()
-		par2.EagerLimit = lim
-		out[1].Points = append(out[1].Points, Point{lim, pingPongWithParams(cluster.LAPIEnhanced, 8192, &par2)})
-	}
-	return out
-}
+func AblateEager() []Series { return SeriesOf(AblateEagerExperiment(), 1, nil) }
 
 // PrintAblateEager prints the eager-limit ablation; the x column is the
 // eager limit in bytes.
@@ -146,12 +104,6 @@ func PrintAblateEager(w io.Writer) {
 func pingPongWithParams(stack cluster.Stack, size int, par *machine.Params) float64 {
 	c := cluster.New(cluster.Config{Nodes: 2, Stack: stack, Seed: 1, Params: par})
 	return runPingPong(c, size, false)
-}
-
-// bandwidthWithParams is MPIBandwidth with an explicit cost model.
-func bandwidthWithParams(stack cluster.Stack, size, count int, par *machine.Params) float64 {
-	c := cluster.New(cluster.Config{Nodes: 2, Stack: stack, Seed: 1, Params: par})
-	return runBandwidth(c, size, count)
 }
 
 // NodeGenerations compares the Figure 11 headline (16 KB polling latency)

@@ -121,6 +121,12 @@ func runPingPong(c *cluster.Cluster, size int, interrupts bool) float64 {
 func RawLAPIPingPong(size int) float64 {
 	par := paperParams()
 	c := cluster.New(cluster.Config{Nodes: 2, Stack: cluster.RawLAPI, Seed: 1, Params: &par})
+	return runRawLAPIPingPong(c, size)
+}
+
+// runRawLAPIPingPong executes the raw-LAPI ping-pong body on a built
+// cluster and returns the one-way latency in microseconds.
+func runRawLAPIPingPong(c *cluster.Cluster, size int) float64 {
 	bufs := [2][]byte{make([]byte, size+1), make([]byte, size+1)}
 	var bufID [2]int
 	var arrived [2]*lapi.Counter
@@ -205,59 +211,19 @@ func runBandwidth(c *cluster.Cluster, size, count int) float64 {
 
 // Fig10 regenerates Figure 10: message transfer time of raw LAPI vs the
 // MPI-LAPI Base, Counters, and Enhanced designs, 1 B to 1 MB.
-func Fig10() []Series {
-	sizes := sweepSizes()
-	out := []Series{
-		{Label: "RAW LAPI"},
-		{Label: "MPI-LAPI Base"},
-		{Label: "MPI-LAPI Counters"},
-		{Label: "MPI-LAPI Enhanced"},
-	}
-	for _, s := range sizes {
-		out[0].Points = append(out[0].Points, Point{s, RawLAPIPingPong(s)})
-		out[1].Points = append(out[1].Points, Point{s, MPIPingPong(cluster.LAPIBase, s, false)})
-		out[2].Points = append(out[2].Points, Point{s, MPIPingPong(cluster.LAPICounters, s, false)})
-		out[3].Points = append(out[3].Points, Point{s, MPIPingPong(cluster.LAPIEnhanced, s, false)})
-	}
-	return out
-}
+func Fig10() []Series { return SeriesOf(Fig10Experiment(), 1, nil) }
 
 // Fig11 regenerates Figure 11: polling-mode latency, native MPI vs
 // MPI-LAPI Enhanced.
-func Fig11() []Series {
-	out := []Series{{Label: "Native MPI"}, {Label: "MPI-LAPI Enhanced"}}
-	for _, s := range latencySizes() {
-		out[0].Points = append(out[0].Points, Point{s, MPIPingPong(cluster.Native, s, false)})
-		out[1].Points = append(out[1].Points, Point{s, MPIPingPong(cluster.LAPIEnhanced, s, false)})
-	}
-	return out
-}
+func Fig11() []Series { return SeriesOf(Fig11Experiment(), 1, nil) }
 
 // Fig12 regenerates Figure 12: streaming bandwidth, native MPI vs MPI-LAPI
 // Enhanced.
-func Fig12() []Series {
-	out := []Series{{Label: "Native MPI"}, {Label: "MPI-LAPI Enhanced"}}
-	for _, s := range []int{256, 1024, 4096, 16384, 65536, 262144, 1 << 20} {
-		count := 64
-		if s >= 262144 {
-			count = 16
-		}
-		out[0].Points = append(out[0].Points, Point{s, MPIBandwidth(cluster.Native, s, count)})
-		out[1].Points = append(out[1].Points, Point{s, MPIBandwidth(cluster.LAPIEnhanced, s, count)})
-	}
-	return out
-}
+func Fig12() []Series { return SeriesOf(Fig12Experiment(), 1, nil) }
 
 // Fig13 regenerates Figure 13: interrupt-mode latency, native MPI vs
 // MPI-LAPI Enhanced.
-func Fig13() []Series {
-	out := []Series{{Label: "Native MPI"}, {Label: "MPI-LAPI Enhanced"}}
-	for _, s := range latencySizes() {
-		out[0].Points = append(out[0].Points, Point{s, MPIPingPong(cluster.Native, s, true)})
-		out[1].Points = append(out[1].Points, Point{s, MPIPingPong(cluster.LAPIEnhanced, s, true)})
-	}
-	return out
-}
+func Fig13() []Series { return SeriesOf(Fig13Experiment(), 1, nil) }
 
 // PrintSeries writes a sweep as an aligned table, one row per size.
 func PrintSeries(w io.Writer, title, unit string, series []Series) {

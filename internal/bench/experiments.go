@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"fmt"
+
+	"splapi/internal/cluster"
+	"splapi/internal/machine"
+	"splapi/internal/sim"
+	"splapi/internal/trace"
+)
+
+// This file turns the figure drivers into data: every experiment is a list
+// of cells, each a self-contained measurement (it builds its own cluster,
+// hence its own sim.Engine) parameterized by seed and by machine-parameter
+// overrides. The legacy text path (Fig10()..Fig13(), Ablate*()) runs the
+// cells serially at seed 1; the parallel sweep harness (internal/sweep)
+// runs the same cells across a seed list on a worker pool. Because each
+// cell is a fully independent deterministic universe, the two paths produce
+// bit-identical values.
+
+// ParamMod mutates a cost model before a cell run (a machine-parameter
+// override in the sweep matrix). It is applied after the cell's own
+// overrides, so matrix-level overrides win.
+type ParamMod func(*machine.Params)
+
+// Measurement is the outcome of one cell run at one seed.
+type Measurement struct {
+	// Value is the reproduced quantity: microseconds for latency cells,
+	// MB/s for bandwidth cells.
+	Value float64
+	// VirtualTime is the total virtual time the simulated run consumed.
+	VirtualTime sim.Time
+	// Trace is the layered statistics report of the run's cluster, so
+	// fabric and protocol counters ride along with the timing.
+	Trace *trace.Report
+}
+
+// Cell is one point of an experiment: a series label, an x value, and the
+// measurement function.
+type Cell struct {
+	// Series is the curve this point belongs to (e.g. "Native MPI").
+	Series string
+	// X is the sweep coordinate: message size in bytes for the figures,
+	// the ablated quantity for ablations.
+	X int
+	// Run executes the cell in a fresh simulated universe.
+	Run func(seed int64, mod ParamMod) Measurement
+}
+
+// Experiment is a named set of cells with presentation metadata.
+type Experiment struct {
+	ID    string
+	Title string
+	Unit  string
+	Cells []Cell
+}
+
+// mpiPingPongCell builds a latency cell (one-way microseconds).
+func mpiPingPongCell(series string, stack cluster.Stack, size int, interrupts bool, overrides ParamMod) Cell {
+	return Cell{Series: series, X: size, Run: func(seed int64, mod ParamMod) Measurement {
+		par := paperParams()
+		if overrides != nil {
+			overrides(&par)
+		}
+		if mod != nil {
+			mod(&par)
+		}
+		c := cluster.New(cluster.Config{Nodes: 2, Stack: stack, Seed: seed, Params: &par, Interrupts: interrupts})
+		v := runPingPong(c, size, interrupts)
+		return Measurement{Value: v, VirtualTime: c.Eng.Now(), Trace: trace.Collect(c)}
+	}}
+}
+
+// rawLAPIPingPongCell builds a latency cell on the bare LAPI stack.
+func rawLAPIPingPongCell(series string, size int) Cell {
+	return Cell{Series: series, X: size, Run: func(seed int64, mod ParamMod) Measurement {
+		par := paperParams()
+		if mod != nil {
+			mod(&par)
+		}
+		c := cluster.New(cluster.Config{Nodes: 2, Stack: cluster.RawLAPI, Seed: seed, Params: &par})
+		v := runRawLAPIPingPong(c, size)
+		return Measurement{Value: v, VirtualTime: c.Eng.Now(), Trace: trace.Collect(c)}
+	}}
+}
+
+// bandwidthCell builds a streaming-bandwidth cell (MB/s).
+func bandwidthCell(series string, stack cluster.Stack, size, count int, overrides ParamMod) Cell {
+	return Cell{Series: series, X: size, Run: func(seed int64, mod ParamMod) Measurement {
+		par := paperParams()
+		if overrides != nil {
+			overrides(&par)
+		}
+		if mod != nil {
+			mod(&par)
+		}
+		c := cluster.New(cluster.Config{Nodes: 2, Stack: stack, Seed: seed, Params: &par})
+		v := runBandwidth(c, size, count)
+		return Measurement{Value: v, VirtualTime: c.Eng.Now(), Trace: trace.Collect(c)}
+	}}
+}
+
+// Fig10Experiment: raw LAPI vs the three MPI-LAPI designs (one-way time).
+func Fig10Experiment() Experiment {
+	e := Experiment{
+		ID:    "fig10",
+		Title: "Figure 10: raw LAPI vs MPI-LAPI designs (one-way time, polling)",
+		Unit:  "us",
+	}
+	for _, s := range sweepSizes() {
+		e.Cells = append(e.Cells,
+			rawLAPIPingPongCell("RAW LAPI", s),
+			mpiPingPongCell("MPI-LAPI Base", cluster.LAPIBase, s, false, nil),
+			mpiPingPongCell("MPI-LAPI Counters", cluster.LAPICounters, s, false, nil),
+			mpiPingPongCell("MPI-LAPI Enhanced", cluster.LAPIEnhanced, s, false, nil),
+		)
+	}
+	return e
+}
+
+// Fig11Experiment: polling latency, native MPI vs MPI-LAPI Enhanced.
+func Fig11Experiment() Experiment {
+	e := Experiment{
+		ID:    "fig11",
+		Title: "Figure 11: native MPI vs MPI-LAPI Enhanced (one-way latency, polling)",
+		Unit:  "us",
+	}
+	for _, s := range latencySizes() {
+		e.Cells = append(e.Cells,
+			mpiPingPongCell("Native MPI", cluster.Native, s, false, nil),
+			mpiPingPongCell("MPI-LAPI Enhanced", cluster.LAPIEnhanced, s, false, nil),
+		)
+	}
+	return e
+}
+
+// Fig12Experiment: streaming bandwidth, native MPI vs MPI-LAPI Enhanced.
+func Fig12Experiment() Experiment {
+	e := Experiment{
+		ID:    "fig12",
+		Title: "Figure 12: native MPI vs MPI-LAPI Enhanced (streaming bandwidth)",
+		Unit:  "MB/s",
+	}
+	for _, s := range []int{256, 1024, 4096, 16384, 65536, 262144, 1 << 20} {
+		count := 64
+		if s >= 262144 {
+			count = 16
+		}
+		e.Cells = append(e.Cells,
+			bandwidthCell("Native MPI", cluster.Native, s, count, nil),
+			bandwidthCell("MPI-LAPI Enhanced", cluster.LAPIEnhanced, s, count, nil),
+		)
+	}
+	return e
+}
+
+// Fig13Experiment: interrupt-mode latency, native MPI vs MPI-LAPI Enhanced.
+func Fig13Experiment() Experiment {
+	e := Experiment{
+		ID:    "fig13",
+		Title: "Figure 13: native MPI vs MPI-LAPI Enhanced (one-way latency, interrupt mode)",
+		Unit:  "us",
+	}
+	for _, s := range latencySizes() {
+		e.Cells = append(e.Cells,
+			mpiPingPongCell("Native MPI", cluster.Native, s, true, nil),
+			mpiPingPongCell("MPI-LAPI Enhanced", cluster.LAPIEnhanced, s, true, nil),
+		)
+	}
+	return e
+}
+
+// AblateCtxSwitchExperiment sweeps the thread context-switch cost
+// (Section 5.2); x is the cost in microseconds.
+func AblateCtxSwitchExperiment() Experiment {
+	e := Experiment{
+		ID:    "ablate-ctxswitch",
+		Title: "Ablation (Section 5.2): completion-handler thread context-switch cost",
+		Unit:  "us",
+	}
+	for _, cost := range []sim.Time{0, 7 * sim.Microsecond, 14 * sim.Microsecond, 28 * sim.Microsecond, 56 * sim.Microsecond} {
+		cost := cost
+		ov := func(par *machine.Params) { par.ThreadContextSwitch = cost }
+		x := int(cost / sim.Microsecond)
+		base := mpiPingPongCell("MPI-LAPI Base (64B)", cluster.LAPIBase, 64, false, ov)
+		base.X = x
+		enh := mpiPingPongCell("MPI-LAPI Enhanced (64B)", cluster.LAPIEnhanced, 64, false, ov)
+		enh.X = x
+		e.Cells = append(e.Cells, base, enh)
+	}
+	return e
+}
+
+// AblateCopiesExperiment disables the native 16 KB head/tail copy rule
+// (Section 2); x is the message size.
+func AblateCopiesExperiment() Experiment {
+	e := Experiment{
+		ID:    "ablate-copies",
+		Title: "Ablation (Section 2): native user<->pipe copy rule vs bandwidth",
+		Unit:  "MB/s",
+	}
+	noCopy := func(par *machine.Params) { par.PipeHeadTailCopyBytes = 0 }
+	for _, size := range []int{4096, 16384, 65536, 262144} {
+		const count = 64
+		e.Cells = append(e.Cells,
+			bandwidthCell("Native (16KB copy rule)", cluster.Native, size, count, nil),
+			bandwidthCell("Native (copies removed)", cluster.Native, size, count, noCopy),
+			bandwidthCell("MPI-LAPI Enhanced", cluster.LAPIEnhanced, size, count, nil),
+		)
+	}
+	return e
+}
+
+// AblateEagerExperiment sweeps the eager limit (Section 4); x is the limit
+// in bytes.
+func AblateEagerExperiment() Experiment {
+	e := Experiment{
+		ID:    "ablate-eager",
+		Title: "Ablation (Section 4): eager limit vs latency (receives pre-posted)",
+		Unit:  "us",
+	}
+	for _, lim := range []int{0, 78, 512, 4096, 16384} {
+		lim := lim
+		ov := func(par *machine.Params) { par.EagerLimit = lim }
+		c1 := mpiPingPongCell("MPI-LAPI Enhanced (1KB)", cluster.LAPIEnhanced, 1024, false, ov)
+		c1.X = lim
+		c8 := mpiPingPongCell("MPI-LAPI Enhanced (8KB)", cluster.LAPIEnhanced, 8192, false, ov)
+		c8.X = lim
+		e.Cells = append(e.Cells, c1, c8)
+	}
+	return e
+}
+
+// Experiments returns the registry of sweepable experiments, in a stable
+// order.
+func Experiments() []Experiment {
+	return []Experiment{
+		Fig10Experiment(),
+		Fig11Experiment(),
+		Fig12Experiment(),
+		Fig13Experiment(),
+		AblateCtxSwitchExperiment(),
+		AblateCopiesExperiment(),
+		AblateEagerExperiment(),
+	}
+}
+
+// FindExperiment looks an experiment up by id.
+func FindExperiment(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q", id)
+}
+
+// SeriesOf runs an experiment's cells serially at the given seed and
+// regroups the values into labelled series, in cell order. Seed 1 with no
+// overrides reproduces the historical single-run figures exactly.
+func SeriesOf(e Experiment, seed int64, mod ParamMod) []Series {
+	var out []Series
+	idx := make(map[string]int)
+	for _, c := range e.Cells {
+		i, ok := idx[c.Series]
+		if !ok {
+			i = len(out)
+			idx[c.Series] = i
+			out = append(out, Series{Label: c.Series})
+		}
+		m := c.Run(seed, mod)
+		out[i].Points = append(out[i].Points, Point{Size: c.X, Value: m.Value})
+	}
+	return out
+}

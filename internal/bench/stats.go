@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"io"
+	"math"
+	"sort"
 
 	"splapi/internal/cluster"
 	"splapi/internal/mpci"
@@ -10,6 +12,58 @@ import (
 	"splapi/internal/sim"
 	"splapi/internal/trace"
 )
+
+// Summary holds dispersion statistics over the repetitions of one sweep
+// cell, following the benchmarking-reproducibility methodology (Hunold &
+// Carpen-Amarie, PAPERS.md): never report a single run; report the median
+// with spread.
+type Summary struct {
+	N      int     `json:"n"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Median float64 `json:"median"`
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"`
+	// CI95Lo/CI95Hi bound the 95% confidence interval of the mean (normal
+	// approximation). With a deterministic simulator and a clean fabric the
+	// interval collapses to a point; under fault injection it widens.
+	CI95Lo float64 `json:"ci95lo"`
+	CI95Hi float64 `json:"ci95hi"`
+}
+
+// Summarize reduces repeated measurements to a Summary. It is
+// deterministic: the same values in any order give the identical result.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	v := append([]float64(nil), values...)
+	sort.Float64s(v)
+	n := len(v)
+	s := Summary{N: n, Min: v[0], Max: v[n-1]}
+	if n%2 == 1 {
+		s.Median = v[n/2]
+	} else {
+		s.Median = (v[n/2-1] + v[n/2]) / 2
+	}
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	s.Mean = sum / float64(n)
+	if n > 1 {
+		var ss float64
+		for _, x := range v {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(n-1))
+	}
+	half := 1.96 * s.Std / math.Sqrt(float64(n))
+	s.CI95Lo = s.Mean - half
+	s.CI95Hi = s.Mean + half
+	return s
+}
 
 // PrintStats runs a mixed-size ring workload on every stack and prints the
 // layered trace report for each — the observability view of where each

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatalf("empty summary N = %d", s.N)
+	}
+
+	s = Summarize([]float64{42})
+	if s.N != 1 || s.Median != 42 || s.Min != 42 || s.Max != 42 || s.Std != 0 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+	if s.CI95Lo != 42 || s.CI95Hi != 42 {
+		t.Fatalf("singleton CI should collapse to the point: %+v", s)
+	}
+
+	// Odd count: median is the middle element; order must not matter.
+	a := Summarize([]float64{3, 1, 2})
+	b := Summarize([]float64{2, 3, 1})
+	if a != b {
+		t.Fatalf("order dependence: %+v vs %+v", a, b)
+	}
+	if a.Median != 2 || a.Min != 1 || a.Max != 3 || a.Mean != 2 {
+		t.Fatalf("odd summary = %+v", a)
+	}
+	if math.Abs(a.Std-1) > 1e-12 {
+		t.Fatalf("sample std = %v, want 1", a.Std)
+	}
+
+	// Even count: median is the midpoint of the two central elements.
+	e := Summarize([]float64{10, 20, 30, 40})
+	if e.Median != 25 || e.Mean != 25 {
+		t.Fatalf("even summary = %+v", e)
+	}
+	if e.CI95Lo >= e.CI95Hi {
+		t.Fatalf("CI degenerate with real spread: %+v", e)
+	}
+	if e.CI95Lo+e.CI95Hi != 2*e.Mean {
+		t.Fatalf("CI not centred on the mean: %+v", e)
+	}
+}

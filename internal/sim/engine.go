@@ -173,6 +173,9 @@ func (e *Engine) Run(horizon Time) int {
 			continue
 		}
 		if horizon > 0 && ev.t > horizon {
+			// The event is beyond this run's horizon, not consumed: push it
+			// back so a later Run with a larger horizon still sees it.
+			heap.Push(&e.events, ev)
 			e.now = horizon
 			break
 		}

@@ -357,3 +357,59 @@ func TestTimeString(t *testing.T) {
 		t.Errorf("Micros = %v, want 2.5", m)
 	}
 }
+
+// TestRunResumesPastHorizon is the regression test for the horizon bug:
+// Run used to pop the first event beyond the horizon and then discard it,
+// so a subsequent Run with a larger horizon silently lost that event.
+func TestRunResumesPastHorizon(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	e.At(10*Microsecond, func() { fired = append(fired, e.Now()) })
+	e.At(20*Microsecond, func() { fired = append(fired, e.Now()) })
+	e.At(30*Microsecond, func() { fired = append(fired, e.Now()) })
+
+	if n := e.Run(15 * Microsecond); n != 1 {
+		t.Fatalf("first Run executed %d events, want 1", n)
+	}
+	if e.Now() != 15*Microsecond {
+		t.Fatalf("clock = %v after horizon run, want 15us", e.Now())
+	}
+	if e.Idle() {
+		t.Fatal("engine reports idle with events still pending past the horizon")
+	}
+	if n := e.Run(0); n != 2 {
+		t.Fatalf("resumed Run executed %d events, want 2 (horizon run lost an event)", n)
+	}
+	want := []Time{10 * Microsecond, 20 * Microsecond, 30 * Microsecond}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, fired[i], want[i])
+		}
+	}
+}
+
+// TestRunResumePreservesOrderAcrossHorizons resumes several times with
+// growing horizons and checks no event is lost or reordered.
+func TestRunResumePreservesOrderAcrossHorizons(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for i := 1; i <= 10; i++ {
+		tt := Time(i) * Microsecond
+		e.At(tt, func() { fired = append(fired, e.Now()) })
+	}
+	total := 0
+	for _, h := range []Time{2500, 4200, 9999, 0} {
+		total += e.Run(h * Nanosecond)
+	}
+	if total != 10 {
+		t.Fatalf("executed %d events across resumed runs, want 10", total)
+	}
+	for i := range fired {
+		if fired[i] != Time(i+1)*Microsecond {
+			t.Fatalf("event %d fired at %v, want %v", i, fired[i], Time(i+1)*Microsecond)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Delta is one point's movement between two result files.
+type Delta struct {
+	Series string
+	X      int
+	Unit   string
+	Old    float64 // old median
+	New    float64 // new median
+	// Pct is the relative movement of the median in percent (signed).
+	Pct float64
+	// OutsideCI reports whether the new median falls outside the old
+	// run's 95% confidence interval (widened by the comparison tolerance).
+	OutsideCI bool
+	// Regression is true when the movement is outside the CI *and* in the
+	// bad direction for the unit (higher latency, lower bandwidth).
+	Regression bool
+}
+
+// Compare matches the points of two results by (series, x) and flags every
+// point whose new median lies outside the old run's confidence interval,
+// widened by tolPct percent of the old median on each side. With a
+// deterministic simulator the CI has zero width, so tolPct is the knob
+// that separates "any change" (0) from "meaningful change".
+func Compare(old, new *Result, tolPct float64) ([]Delta, error) {
+	if old.Experiment != new.Experiment {
+		return nil, fmt.Errorf("sweep: comparing different experiments %q vs %q", old.Experiment, new.Experiment)
+	}
+	if old.Unit != new.Unit {
+		return nil, fmt.Errorf("sweep: comparing different units %q vs %q", old.Unit, new.Unit)
+	}
+	higherWorse := !strings.Contains(old.Unit, "MB/s")
+	oldPts := make(map[[2]interface{}]PointResult, len(old.Points))
+	key := func(p PointResult) [2]interface{} { return [2]interface{}{p.Series, p.X} }
+	for _, p := range old.Points {
+		oldPts[key(p)] = p
+	}
+	var out []Delta
+	for _, np := range new.Points {
+		op, ok := oldPts[key(np)]
+		if !ok {
+			continue // new point, nothing to regress against
+		}
+		d := Delta{Series: np.Series, X: np.X, Unit: new.Unit, Old: op.Stats.Median, New: np.Stats.Median}
+		if op.Stats.Median != 0 {
+			d.Pct = (np.Stats.Median - op.Stats.Median) / op.Stats.Median * 100
+		}
+		slack := tolPct / 100 * op.Stats.Median
+		if slack < 0 {
+			slack = -slack
+		}
+		lo, hi := op.Stats.CI95Lo-slack, op.Stats.CI95Hi+slack
+		d.OutsideCI = np.Stats.Median < lo || np.Stats.Median > hi
+		if d.OutsideCI {
+			if higherWorse {
+				d.Regression = np.Stats.Median > hi
+			} else {
+				d.Regression = np.Stats.Median < lo
+			}
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// Regressions filters a comparison down to the regressed points.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// PrintDeltas writes a comparison as an aligned table; verbose includes
+// in-CI points, otherwise only out-of-CI movements are shown.
+func PrintDeltas(w io.Writer, deltas []Delta, verbose bool) {
+	fmt.Fprintf(w, "%-28s %10s %12s %12s %9s  %s\n", "series", "x", "old", "new", "delta", "verdict")
+	for _, d := range deltas {
+		if !verbose && !d.OutsideCI {
+			continue
+		}
+		verdict := "within CI"
+		if d.Regression {
+			verdict = "REGRESSION"
+		} else if d.OutsideCI {
+			verdict = "improved"
+		}
+		fmt.Fprintf(w, "%-28s %10d %12.3f %12.3f %+8.2f%%  %s\n", d.Series, d.X, d.Old, d.New, d.Pct, verdict)
+	}
+}

@@ -1,0 +1,31 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+)
+
+// Print writes a human-readable summary of a sweep result: one row per
+// point with the median, the observed range, and the CI half-width, plus
+// the run's cost line (virtual seconds simulated, wall-clock, pool size).
+func (r *Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s  [%s, %d seed(s), base %d]\n", r.Title, r.Unit, r.Seeds, r.BaseSeed)
+	if r.Overrides.DropProb > 0 || r.Overrides.DupProb > 0 {
+		fmt.Fprintf(w, "  fault injection: drop=%.3g dup=%.3g\n", r.Overrides.DropProb, r.Overrides.DupProb)
+	}
+	fmt.Fprintf(w, "%-28s %10s %12s %12s %12s %10s %12s\n",
+		"series", "x", "median", "min", "max", "ci95±", "rtx/pkts")
+	var virtual int64
+	for _, p := range r.Points {
+		s := p.Stats
+		fmt.Fprintf(w, "%-28s %10d %12.3f %12.3f %12.3f %10.3f %6d/%d\n",
+			p.Series, p.X, s.Median, s.Min, s.Max, (s.CI95Hi-s.CI95Lo)/2,
+			p.Trace.Retransmits, p.Trace.PacketsSent)
+		virtual += p.VirtualTimeNs
+	}
+	fmt.Fprintf(w, "  cost: %.3f virtual seconds", float64(virtual)/1e9)
+	if r.WallClock > 0 {
+		fmt.Fprintf(w, ", %v wall-clock on %d worker(s)", r.WallClock.Round(1e6), r.Par)
+	}
+	fmt.Fprintln(w)
+}

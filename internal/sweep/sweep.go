@@ -1,0 +1,234 @@
+// Package sweep is the parallel experiment-sweep harness: it expands a
+// config matrix (experiment cells × machine-parameter overrides × seed
+// list), runs every resulting configuration as an isolated sim.Engine
+// instance on a worker pool, aggregates the repetitions into dispersion
+// statistics, and persists machine-readable results.
+//
+// Two properties make this sound:
+//
+//   - every cell run builds its own cluster and therefore its own engine,
+//     RNG, and event queue — a fully independent deterministic universe —
+//     so the matrix is embarrassingly parallel;
+//   - the seed of every run is derived deterministically from the cell's
+//     identity and repetition index (never from worker identity or
+//     completion order), so the aggregated results are bit-identical no
+//     matter how many workers run the sweep or how the scheduler
+//     interleaves them.
+//
+// The methodology (repetitions, median + spread rather than single-run
+// numbers, a reproducible harness) follows "MPI Benchmarking Revisited:
+// Experimental Design and Reproducibility" (Hunold & Carpen-Amarie).
+package sweep
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"splapi/internal/bench"
+	"splapi/internal/machine"
+	"splapi/internal/trace"
+)
+
+// Options configures a sweep run.
+type Options struct {
+	// Seeds is the number of repetitions per cell (default 1). Repetition
+	// r of a cell runs with a seed derived from (experiment, series, x, r).
+	Seeds int
+	// Par is the worker-pool size; <= 0 means GOMAXPROCS.
+	Par int
+	// BaseSeed perturbs every derived seed, giving a fresh family of
+	// repetitions (default 1).
+	BaseSeed int64
+	// DropProb / DupProb are matrix-level machine-parameter overrides
+	// applied to every cell: fabric fault injection. On a clean fabric the
+	// simulator is deterministic per seed and the dispersion statistics
+	// collapse to a point; with faults enabled the seed list yields a real
+	// distribution.
+	DropProb float64
+	DupProb  float64
+	// GitDescribe is recorded in the result for provenance (the CLI fills
+	// it from `git describe`).
+	GitDescribe string
+}
+
+// TraceCounters is the compact per-point protocol/fabric counter summary,
+// taken from the repetition-0 run (deterministic). It lets a result file
+// explain its own timings: a latency regression with a retransmit spike
+// reads very differently from one without.
+type TraceCounters struct {
+	PacketsSent uint64 `json:"packetsSent"`
+	Retransmits uint64 `json:"retransmits"`
+	Injected    uint64 `json:"injected"`
+	Delivered   uint64 `json:"delivered"`
+	Dropped     uint64 `json:"dropped"`
+	Duplicated  uint64 `json:"duplicated"`
+	Reordered   uint64 `json:"reordered"`
+	BytesWire   uint64 `json:"bytesWire"`
+}
+
+func countersOf(r *trace.Report) TraceCounters {
+	if r == nil {
+		return TraceCounters{}
+	}
+	return TraceCounters{
+		PacketsSent: r.TotalPacketsSent(),
+		Retransmits: r.TotalRetransmits(),
+		Injected:    r.Fabric.Injected,
+		Delivered:   r.Fabric.Delivered,
+		Dropped:     r.Fabric.Dropped,
+		Duplicated:  r.Fabric.Duplicated,
+		Reordered:   r.Fabric.Reordered,
+		BytesWire:   r.Fabric.BytesWire,
+	}
+}
+
+// PointResult is the aggregate of all repetitions of one cell.
+type PointResult struct {
+	Series string        `json:"series"`
+	X      int           `json:"x"`
+	Stats  bench.Summary `json:"stats"`
+	// VirtualTimeNs is the summed virtual time of all repetitions: the
+	// simulated cost of producing this point.
+	VirtualTimeNs int64         `json:"virtualTimeNs"`
+	Trace         TraceCounters `json:"trace"`
+}
+
+// Overrides records the matrix-level parameter overrides a result was
+// produced under.
+type Overrides struct {
+	DropProb float64 `json:"dropProb"`
+	DupProb  float64 `json:"dupProb"`
+}
+
+// Result is the persisted outcome of sweeping one experiment. Every field
+// serialized to JSON is a deterministic function of (experiment, options),
+// so the artifact is bit-identical regardless of worker count; wall-clock
+// cost and pool size are observable on the struct but deliberately kept
+// out of the file (json:"-") to preserve that property.
+type Result struct {
+	Experiment  string        `json:"experiment"`
+	Title       string        `json:"title"`
+	Unit        string        `json:"unit"`
+	GitDescribe string        `json:"gitDescribe"`
+	Seeds       int           `json:"seeds"`
+	BaseSeed    int64         `json:"baseSeed"`
+	Overrides   Overrides     `json:"overrides"`
+	Points      []PointResult `json:"points"`
+
+	// WallClock is the host time the sweep took; Par is the pool size
+	// used. Reported by the CLI, not persisted.
+	WallClock time.Duration `json:"-"`
+	Par       int           `json:"-"`
+}
+
+// CellSeed derives the seed for repetition rep of a cell. It depends only
+// on the cell's identity, never on scheduling, and decorrelates
+// neighbouring cells by hashing.
+func CellSeed(base int64, experiment, series string, x, rep int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%d|%d", experiment, series, x, rep, base)
+	return int64(h.Sum64() >> 1) // keep it positive for readability
+}
+
+// Run sweeps every cell of the experiment across the seed list on a worker
+// pool and aggregates the repetitions.
+func Run(e bench.Experiment, o Options) (*Result, error) {
+	seeds := o.Seeds
+	if seeds <= 0 {
+		seeds = 1
+	}
+	par := o.Par
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	base := o.BaseSeed
+	if base == 0 {
+		base = 1
+	}
+	var mod bench.ParamMod
+	if o.DropProb > 0 || o.DupProb > 0 {
+		mod = func(p *machine.Params) {
+			p.DropProb = o.DropProb
+			p.DupProb = o.DupProb
+		}
+	}
+
+	// One slot per (cell, repetition): workers write only their own slot,
+	// and aggregation reads the slots in deterministic cell order, so the
+	// result is independent of scheduling.
+	type job struct{ cell, rep int }
+	slots := make([][]bench.Measurement, len(e.Cells))
+	for i := range slots {
+		slots[i] = make([]bench.Measurement, seeds)
+	}
+	jobs := make(chan job)
+	var (
+		wg       sync.WaitGroup
+		panicked error
+		panicMu  sync.Mutex
+	)
+	start := time.Now()
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = fmt.Errorf("sweep: cell %d rep %d panicked: %v", j.cell, j.rep, r)
+							}
+							panicMu.Unlock()
+						}
+					}()
+					c := e.Cells[j.cell]
+					seed := CellSeed(base, e.ID, c.Series, c.X, j.rep)
+					slots[j.cell][j.rep] = c.Run(seed, mod)
+				}()
+			}
+		}()
+	}
+	for ci := range e.Cells {
+		for r := 0; r < seeds; r++ {
+			jobs <- job{ci, r}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if panicked != nil {
+		return nil, panicked
+	}
+
+	res := &Result{
+		Experiment:  e.ID,
+		Title:       e.Title,
+		Unit:        e.Unit,
+		GitDescribe: o.GitDescribe,
+		Seeds:       seeds,
+		BaseSeed:    base,
+		Overrides:   Overrides{DropProb: o.DropProb, DupProb: o.DupProb},
+		WallClock:   time.Since(start),
+		Par:         par,
+	}
+	for ci, c := range e.Cells {
+		values := make([]float64, seeds)
+		var vt int64
+		for r := 0; r < seeds; r++ {
+			values[r] = slots[ci][r].Value
+			vt += int64(slots[ci][r].VirtualTime)
+		}
+		res.Points = append(res.Points, PointResult{
+			Series:        c.Series,
+			X:             c.X,
+			Stats:         bench.Summarize(values),
+			VirtualTimeNs: vt,
+			Trace:         countersOf(slots[ci][0].Trace),
+		})
+	}
+	return res, nil
+}

@@ -132,6 +132,12 @@ func (f *Fabric) Send(pkt *Packet, ready sim.Time) {
 	if pkt.Src < 0 || pkt.Src >= f.n || pkt.Dst < 0 || pkt.Dst >= f.n {
 		panic(fmt.Sprintf("switchnet: bad endpoints %d->%d", pkt.Src, pkt.Dst))
 	}
+	// Snapshot the payload at the injection boundary: delivery happens at a
+	// future virtual time, and the sender is free to reuse or rewrite its
+	// buffer meanwhile (the LAPI flow layer re-stamps piggybacked acks into
+	// the same bytes on every retransmission). Without the copy, a packet
+	// still transiting the switch would retroactively change content.
+	pkt.Payload = append([]byte(nil), pkt.Payload...)
 	if pkt.Wire < len(pkt.Payload) {
 		pkt.Wire = len(pkt.Payload) + f.par.LinkFrameBytes
 	}
@@ -149,7 +155,9 @@ func (f *Fabric) Send(pkt *Packet, ready sim.Time) {
 
 	if f.par.DupProb > 0 && f.eng.Rand().Float64() < f.par.DupProb {
 		f.stats.Duplicated++
-		dup := &Packet{Src: pkt.Src, Dst: pkt.Dst, Payload: pkt.Payload, Wire: pkt.Wire, seq: pkt.seq}
+		// The duplicate carries its own copy of the snapshot so the two
+		// deliveries never alias each other's bytes.
+		dup := &Packet{Src: pkt.Src, Dst: pkt.Dst, Payload: append([]byte(nil), pkt.Payload...), Wire: pkt.Wire, seq: pkt.seq}
 		// The duplicate takes another trip slightly later, as if
 		// retransmitted by a confused link-level retry.
 		f.transit(dup, ready+f.par.SwitchBaseLatency)
