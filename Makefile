@@ -1,0 +1,21 @@
+# Tier-1 verification, as run by CI (.github/workflows/ci.yml).
+
+.PHONY: verify build vet test lint tidy-check
+
+verify: build vet test lint tidy-check
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test -race ./...
+
+# lint runs the determinism-invariant analyzer suite (internal/simlint).
+lint:
+	go run ./cmd/simlint ./...
+
+tidy-check:
+	go mod tidy -diff

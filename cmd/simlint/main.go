@@ -1,0 +1,115 @@
+// Command simlint runs the determinism-invariant analyzer suite over the
+// repository (see internal/simlint). It is part of the tier-1 verify line:
+//
+//	go run ./cmd/simlint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 load or type-check errors. With
+// -json the diagnostics are emitted as a JSON array on stdout so the sweep
+// tooling and CI can consume them.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"splapi/internal/simlint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	tests := flag.Bool("tests", true, "also analyze _test.go files")
+	run := flag.String("run", "", "comma-separated subset of analyzers to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: simlint [flags] [packages]\n\n"+
+			"Runs the determinism-invariant analyzers over the given package\n"+
+			"patterns (default ./...). Suppress an intentional finding with a\n"+
+			"//simlint:allow <analyzer> <reason> directive on the same line or\n"+
+			"the line above.\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range simlint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := simlint.All()
+	if *run != "" {
+		byName := make(map[string]*simlint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*run, ",") {
+			a := byName[strings.TrimSpace(name)]
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "simlint: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	ld, err := simlint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(2)
+	}
+	ld.IncludeTests = *tests
+
+	dirs, err := simlint.Expand(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	loadFailed := false
+	diags := []simlint.Diagnostic{}
+	for _, dir := range dirs {
+		units, err := ld.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			loadFailed = true
+			continue
+		}
+		for _, u := range units {
+			diags = append(diags, simlint.RunUnit(u, analyzers)...)
+		}
+	}
+	simlint.Sort(diags)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+
+	switch {
+	case loadFailed:
+		os.Exit(2)
+	case len(diags) > 0:
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

@@ -145,6 +145,10 @@ func (h *HAL) Send(p *sim.Proc, dst int, payload []byte) {
 	}
 	h.sendBufs.Acquire(p)
 	h.ChargeCPU(p, h.par.PacketDispatch)
+	// The caller keeps ownership of payload: adapter.Send synchronously
+	// hands the packet to fabric.Send, which snapshots the bytes at the
+	// injection boundary (PR 1) before this call returns.
+	//simlint:allow payloadretain fabric.Send snapshots the payload synchronously before this call returns
 	freeAt := h.ad.Send(&switchnet.Packet{Src: h.node, Dst: dst, Payload: payload})
 	h.stats.PacketsSent++
 	h.stats.BytesSent += uint64(len(payload))

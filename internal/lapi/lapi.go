@@ -248,6 +248,9 @@ func (l *LAPI) RegisterCounter(c *Counter) int {
 
 // RegisterBuffer makes b a remotely addressable target buffer for Put/Get.
 func (l *LAPI) RegisterBuffer(b []byte) int {
+	// Retaining b is the one-sided API contract: the registered slice IS
+	// the remote-access window into the caller's memory.
+	//simlint:allow payloadretain one-sided semantics: remote Put/Get must read and write the caller's own buffer
 	l.buffers = append(l.buffers, b)
 	return len(l.buffers) - 1
 }
@@ -415,6 +418,9 @@ func (l *LAPI) Get(p *sim.Proc, tgt, bufID, off int, local []byte, tgtCntr int, 
 	l.h.ChargeCPU(p, l.par.ParamCheckCost+l.par.SendCallOverhead)
 	getID := l.nextGetID
 	l.nextGetID++
+	// Retaining local is the API contract: the reply handler must deposit
+	// the arriving data directly in the caller's buffer.
+	//simlint:allow payloadretain asynchronous Get writes into the caller's buffer on reply
 	l.pendingGets[getID] = &getOp{buf: local, org: org}
 	uhdr := make([]byte, 14)
 	binary.BigEndian.PutUint16(uhdr[0:2], uint16(bufID))

@@ -106,7 +106,8 @@ type Engine struct {
 // random source is seeded with seed (determinism: same seed, same schedule).
 func NewEngine(seed int64) *Engine {
 	return &Engine{
-		ctl:     make(chan struct{}),
+		ctl: make(chan struct{}),
+		//simlint:allow globalrand the engine owns the per-run root source; all other sim code draws from Engine.Rand()
 		rng:     rand.New(rand.NewSource(seed)),
 		procs:   make(map[*Proc]struct{}),
 		blocked: make(map[*Proc]struct{}),
@@ -242,6 +243,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	e.procSeq++
 	e.procs[p] = struct{}{}
 	e.At(e.now, func() {
+		//simlint:allow baregoroutine Spawn owns the one legal goroutine; the ctl/resume token handoff serializes it with the engine
 		go p.run(fn)
 		p.resume <- struct{}{} // hand the token to the new process
 		<-e.ctl                // wait until it yields or finishes

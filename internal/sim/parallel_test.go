@@ -74,6 +74,7 @@ func TestConcurrentEnginesBitIdentical(t *testing.T) {
 	for i, c := range configs {
 		i, c := i, c
 		wg.Add(1)
+		//simlint:allow baregoroutine this test races whole engines against each other on purpose
 		go func() {
 			defer wg.Done()
 			got[i] = pingRing(c.stack, c.seed, c.drop)
@@ -100,6 +101,7 @@ func TestConcurrentSameConfigEngines(t *testing.T) {
 	for i := 0; i < n; i++ {
 		i := i
 		wg.Add(1)
+		//simlint:allow baregoroutine this test races whole engines against each other on purpose
 		go func() {
 			defer wg.Done()
 			got[i] = pingRing(cluster.LAPIEnhanced, 42, 0.001)

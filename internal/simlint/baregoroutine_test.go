@@ -1,0 +1,15 @@
+package simlint_test
+
+import (
+	"testing"
+
+	"splapi/internal/simlint"
+	"splapi/internal/simlint/simlinttest"
+)
+
+func TestBaregoroutine(t *testing.T) {
+	simlinttest.Run(t, simlint.Baregoroutine,
+		"baregoroutine/adapter", // sim-domain package: go statements flagged
+		"baregoroutine/bench",   // harness package: worker pools are fine
+	)
+}

@@ -1,0 +1,38 @@
+package simlint
+
+import "go/types"
+
+// Globalrand forbids package-level math/rand functions (the process-global
+// source: rand.Intn, rand.Float64, ...) and ad-hoc source construction
+// (rand.New, rand.NewSource) in simulation packages. All simulation
+// randomness must flow through sim.Engine.Rand(), the per-run source
+// seeded by the experiment configuration — a stray global draw makes the
+// schedule depend on whatever else ran in the process, and a locally
+// constructed source hides a second seed the sweep harness cannot control.
+//
+// Methods on an injected *rand.Rand (the value Engine.Rand returns) remain
+// legal.
+var Globalrand = &Analyzer{
+	Name:      "globalrand",
+	Doc:       "forbid package-level math/rand and ad-hoc rand sources; use sim.Engine.Rand()",
+	AppliesTo: InSimDomain,
+	Run:       globalrandRun,
+}
+
+func globalrandRun(pass *Pass) {
+	for id, obj := range pass.Unit.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			continue // r.Intn(...) on an engine-provided source is fine
+		}
+		pass.Reportf(id.Pos(),
+			"package-level rand.%s in a simulation package: all randomness must flow through sim.Engine.Rand(), seeded per run by the experiment config",
+			fn.Name())
+	}
+}

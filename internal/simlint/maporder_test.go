@@ -1,0 +1,12 @@
+package simlint_test
+
+import (
+	"testing"
+
+	"splapi/internal/simlint"
+	"splapi/internal/simlint/simlinttest"
+)
+
+func TestMaporder(t *testing.T) {
+	simlinttest.Run(t, simlint.Maporder, "maporder/mpci")
+}

@@ -1,0 +1,481 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Payloadretain flags retaining a caller-owned []byte across the packet
+// injection boundary (switchnet/adapter/hal/lapi) without a copy — the
+// PR 1 bug class: the switch fabric delivered packets at a future virtual
+// time while the sender kept re-stamping the same bytes (piggybacked acks
+// in retransmission buffers), so an in-flight packet could retroactively
+// change content.
+//
+// Within each function, every []byte parameter (and every []byte field
+// reachable from a pointer-to-struct parameter, e.g. pkt.Payload on a
+// *Packet) is caller-owned. The analyzer tracks aliases of those bytes
+// through assignments, sub-slices and slice conversions, and flags:
+//
+//   - storing an alias into a struct field, map or slice element, or a
+//     package-level variable;
+//   - aliasing into a composite-literal field (the pre-fix
+//     `&Packet{Payload: pkt.Payload}` duplicate);
+//   - sending an alias on a channel;
+//   - appending an alias as an element of a longer-lived slice;
+//   - capturing an alias in a closure passed to Engine.At/After/Spawn
+//     (deferred delivery of bytes the caller may rewrite meanwhile).
+//
+// Copies cleanse: append([]byte(nil), b...), copy into a fresh buffer, or
+// any function-call result. A field assignment with a cleansed right-hand
+// side (the fabric's snapshot line) also clears the field's taint for the
+// rest of the function.
+var Payloadretain = &Analyzer{
+	Name:      "payloadretain",
+	Doc:       "forbid retaining caller-owned []byte payloads across the injection boundary without a copy",
+	AppliesTo: InInjectionBoundary,
+	Run:       payloadretainRun,
+}
+
+func payloadretainRun(pass *Pass) {
+	for _, file := range pass.Unit.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					newTaintState(pass, fn.Type.Params).walkStmts(fn.Body.List)
+				}
+			case *ast.FuncLit:
+				newTaintState(pass, fn.Type.Params).walkStmts(fn.Body.List)
+			}
+			return true
+		})
+	}
+}
+
+// taintState is one function's view of which values alias caller-owned
+// payload bytes. The statement walk is in source order: branch-insensitive
+// but flow-through, which is what the snapshot idiom needs (taint cleared
+// after `pkt.Payload = append([]byte(nil), pkt.Payload...)`).
+type taintState struct {
+	pass *Pass
+	info *types.Info
+	// tainted maps local objects whose value aliases caller bytes.
+	tainted map[types.Object]bool
+	// carrier maps pointer/struct parameters to their caller-owned []byte
+	// fields (e.g. pkt -> {Payload}).
+	carrier map[types.Object]map[*types.Var]bool
+}
+
+func newTaintState(pass *Pass, params *ast.FieldList) *taintState {
+	st := &taintState{
+		pass:    pass,
+		info:    pass.Unit.Info,
+		tainted: make(map[types.Object]bool),
+		carrier: make(map[types.Object]map[*types.Var]bool),
+	}
+	if params == nil {
+		return st
+	}
+	for _, field := range params.List {
+		for _, name := range field.Names {
+			obj := st.info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if isByteSlice(obj.Type()) {
+				st.tainted[obj] = true
+				continue
+			}
+			if str := structUnder(obj.Type()); str != nil {
+				var fields map[*types.Var]bool
+				for i := 0; i < str.NumFields(); i++ {
+					if f := str.Field(i); isByteSlice(f.Type()) {
+						if fields == nil {
+							fields = make(map[*types.Var]bool)
+						}
+						fields[f] = true
+					}
+				}
+				if fields != nil {
+					st.carrier[obj] = fields
+				}
+			}
+		}
+	}
+	return st
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+func structUnder(t types.Type) *types.Struct {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	str, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	return str
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// retains reports whether evaluating e yields a []byte aliasing
+// caller-owned bytes under the current taint state.
+func (st *taintState) retains(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := st.info.Uses[e]
+		return obj != nil && st.tainted[obj]
+	case *ast.ParenExpr:
+		return st.retains(e.X)
+	case *ast.SliceExpr:
+		return st.retains(e.X) // b[i:j] shares b's backing array
+	case *ast.SelectorExpr:
+		sel := st.info.Selections[e]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			return false
+		}
+		base, ok := unparen(e.X).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		fields := st.carrier[st.info.Uses[base]]
+		if fields == nil {
+			return false
+		}
+		fv, ok := sel.Obj().(*types.Var)
+		return ok && fields[fv]
+	case *ast.CallExpr:
+		if tv, ok := st.info.Types[e.Fun]; ok && tv.IsType() {
+			// A slice->slice conversion ([]byte(b), Payload(b)) shares the
+			// backing array; string->[]byte allocates.
+			if isByteSlice(tv.Type) && len(e.Args) == 1 {
+				if at, ok := st.info.Types[e.Args[0]]; ok {
+					if _, isSlice := at.Type.Underlying().(*types.Slice); isSlice {
+						return st.retains(e.Args[0])
+					}
+				}
+			}
+			return false
+		}
+		if id, ok := unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := st.info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(e.Args) > 0 {
+				// append's result may share the first argument's array;
+				// spread arguments (b...) are copied byte-wise.
+				return st.retains(e.Args[0])
+			}
+		}
+		return false // function results are assumed freshly owned
+	}
+	return false
+}
+
+func (st *taintState) walkStmts(list []ast.Stmt) {
+	for _, s := range list {
+		st.walkStmt(s)
+	}
+}
+
+func (st *taintState) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			st.scanExpr(rhs)
+		}
+		for _, lhs := range s.Lhs {
+			if ix, ok := unparen(lhs).(*ast.IndexExpr); ok {
+				st.scanExpr(ix.X)
+				st.scanExpr(ix.Index)
+			}
+		}
+		if len(s.Lhs) == len(s.Rhs) {
+			for i := range s.Lhs {
+				st.assign(s.Lhs[i], s.Rhs[i], s.Tok)
+			}
+		} else {
+			// x, y := f(): call results are freshly owned.
+			for _, lhs := range s.Lhs {
+				st.clear(lhs, s.Tok)
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				st.scanExpr(v)
+			}
+			if len(vs.Names) == len(vs.Values) {
+				for i, name := range vs.Names {
+					if obj := st.info.Defs[name]; obj != nil {
+						st.set(obj, st.retains(vs.Values[i]))
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		st.scanExpr(s.Chan)
+		st.scanExpr(s.Value)
+		if st.retains(s.Value) {
+			st.pass.Reportf(s.Arrow,
+				"caller-owned payload %s sent on a channel without a copy: the sender may rewrite the bytes while they are in flight (snapshot with append([]byte(nil), b...))",
+				types.ExprString(s.Value))
+		}
+	case *ast.ExprStmt:
+		st.scanExpr(s.X)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			st.scanExpr(r)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st.walkStmt(s.Init)
+		}
+		st.scanExpr(s.Cond)
+		st.walkStmts(s.Body.List)
+		if s.Else != nil {
+			st.walkStmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st.walkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			st.scanExpr(s.Cond)
+		}
+		st.walkStmts(s.Body.List)
+		if s.Post != nil {
+			st.walkStmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		st.scanExpr(s.X)
+		st.walkStmts(s.Body.List)
+	case *ast.BlockStmt:
+		st.walkStmts(s.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			st.scanExpr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				st.walkStmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				st.walkStmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					st.walkStmt(cc.Comm)
+				}
+				st.walkStmts(cc.Body)
+			}
+		}
+	case *ast.DeferStmt:
+		st.scanExpr(s.Call)
+	case *ast.GoStmt:
+		st.scanExpr(s.Call)
+	case *ast.LabeledStmt:
+		st.walkStmt(s.Stmt)
+	}
+}
+
+// assign applies one lhs = rhs pair: flags retention stores and updates the
+// taint state.
+func (st *taintState) assign(lhs, rhs ast.Expr, tok token.Token) {
+	ret := st.retains(rhs)
+	switch l := unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		var obj types.Object
+		if tok == token.DEFINE {
+			obj = st.info.Defs[l]
+		} else {
+			obj = st.info.Uses[l]
+		}
+		if obj == nil {
+			return
+		}
+		if ret && obj.Parent() == st.pass.Unit.Pkg.Scope() {
+			st.pass.Reportf(l.Pos(),
+				"caller-owned payload %s stored in package-level variable %s without a copy (snapshot with append([]byte(nil), b...))",
+				types.ExprString(rhs), l.Name)
+		}
+		st.set(obj, ret)
+	case *ast.SelectorExpr:
+		sel := st.info.Selections[l]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			return
+		}
+		if ret {
+			st.pass.Reportf(l.Pos(),
+				"caller-owned payload %s stored into field %s without a copy: the bytes can change while the packet is in flight (snapshot with append([]byte(nil), b...))",
+				types.ExprString(rhs), types.ExprString(l))
+		}
+		// The snapshot idiom: assigning a cleansed value to a carrier field
+		// (pkt.Payload = append([]byte(nil), pkt.Payload...)) clears its
+		// taint for the rest of the function.
+		if base, ok := unparen(l.X).(*ast.Ident); ok {
+			if fields := st.carrier[st.info.Uses[base]]; fields != nil {
+				if fv, ok := sel.Obj().(*types.Var); ok {
+					if ret {
+						fields[fv] = true
+					} else {
+						delete(fields, fv)
+					}
+				}
+			}
+		}
+	case *ast.IndexExpr:
+		if ret {
+			st.pass.Reportf(l.Pos(),
+				"caller-owned payload %s stored into a map or slice element without a copy (snapshot with append([]byte(nil), b...))",
+				types.ExprString(rhs))
+		}
+	}
+}
+
+// clear handles lhs of multi-value assignments (results are freshly owned).
+func (st *taintState) clear(lhs ast.Expr, tok token.Token) {
+	id, ok := unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	var obj types.Object
+	if tok == token.DEFINE {
+		obj = st.info.Defs[id]
+	} else {
+		obj = st.info.Uses[id]
+	}
+	if obj != nil {
+		delete(st.tainted, obj)
+	}
+}
+
+func (st *taintState) set(obj types.Object, tainted bool) {
+	if tainted {
+		st.tainted[obj] = true
+	} else {
+		delete(st.tainted, obj)
+	}
+}
+
+// scanExpr flags retention that happens inside expressions: composite
+// literals, element appends, and closures handed to the event scheduler.
+// It does not descend into function literals except for the scheduler
+// check — each FuncLit is analyzed separately with its own parameters.
+func (st *taintState) scanExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if st.retains(v) {
+					st.pass.Reportf(v.Pos(),
+						"caller-owned payload %s aliased into a composite literal without a copy (PR 1 bug class: snapshot with append([]byte(nil), b...))",
+						types.ExprString(v))
+				}
+			}
+		case *ast.CallExpr:
+			st.checkCall(n)
+		}
+		return true
+	})
+}
+
+func (st *taintState) checkCall(call *ast.CallExpr) {
+	// Element appends: append(queue, b) retains b; append(buf, b...) copies.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := st.info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && !call.Ellipsis.IsValid() {
+			for _, arg := range call.Args[1:] {
+				if st.retains(arg) {
+					st.pass.Reportf(arg.Pos(),
+						"caller-owned payload %s appended as an element of a longer-lived slice without a copy (snapshot with append([]byte(nil), b...))",
+						types.ExprString(arg))
+				}
+			}
+		}
+		return
+	}
+	// Closures handed to the event scheduler run at a future virtual time:
+	// any payload they capture can be rewritten before the event fires.
+	se, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := st.info.Uses[se.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || lastPathElem(fn.Pkg().Path()) != "sim" {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+		return
+	}
+	if n := fn.Name(); n != "At" && n != "After" && n != "Spawn" {
+		return
+	}
+	for _, arg := range call.Args {
+		lit, ok := arg.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if st.retains(n) {
+					st.pass.Reportf(n.Pos(),
+						"caller-owned payload %s captured by a deferred %s callback: the bytes can change before the event fires (snapshot with append([]byte(nil), b...))",
+						n.Name, fn.Name())
+				}
+			case *ast.SelectorExpr:
+				if st.retains(n) {
+					st.pass.Reportf(n.Pos(),
+						"caller-owned payload %s captured by a deferred %s callback: the bytes can change before the event fires (snapshot with append([]byte(nil), b...))",
+						types.ExprString(n), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,19 @@
+package simlint_test
+
+import (
+	"testing"
+
+	"splapi/internal/simlint"
+	"splapi/internal/simlint/simlinttest"
+)
+
+// TestPayloadretain includes the acceptance fixture for this analyzer: the
+// pre-PR-1 switchnet fabric injection path (payload forwarded into
+// in-flight packets without a snapshot, duplicate aliasing the original)
+// must be flagged, proving the PR 1 bug class is now caught statically.
+func TestPayloadretain(t *testing.T) {
+	simlinttest.Run(t, simlint.Payloadretain,
+		"payloadretain/switchnet", // pre-fix fabric.go pattern (must flag)
+		"payloadretain/hal",       // every retention shape + copy idioms
+	)
+}

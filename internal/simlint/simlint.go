@@ -1,0 +1,196 @@
+// Package simlint is the repository's determinism-invariant analyzer suite.
+//
+// The simulator's core guarantee — bit-identical virtual-time runs for a
+// given (program, seed) pair — is easy to break silently: one wall-clock
+// read, one bare goroutine, one map iteration whose order leaks into the
+// event schedule, or one payload retained by reference across the switch
+// injection boundary (the PR 1 aliasing bug) and results stop being
+// reproducible while every functional test still passes. simlint encodes
+// those invariants as static analyzers so they are enforced mechanically
+// instead of by reviewer memory:
+//
+//	walltime      — no time.Now/Sleep/Since/... in simulation packages
+//	globalrand    — no package-level math/rand; randomness flows through
+//	                sim.Engine.Rand()
+//	payloadretain — no retaining a caller-owned []byte across the
+//	                switchnet/adapter/hal/lapi injection boundary without
+//	                a copy
+//	maporder      — no map iteration that schedules events, sends packets,
+//	                or accumulates into an ordered slice
+//	baregoroutine — no `go` statements in simulation packages; use
+//	                sim.Engine.Spawn
+//
+// A finding that is intentional is suppressed in source with a directive on
+// the same line or the line directly above:
+//
+//	//simlint:allow <analyzer> <reason>
+//
+// The suite deliberately depends only on the standard library (go/ast,
+// go/types): the usual golang.org/x/tools/go/analysis framework is an
+// external module and this repository builds fully offline with zero
+// dependencies. The Analyzer/Pass API mirrors the analysis package closely
+// enough that migrating onto it later is mechanical.
+package simlint
+
+import (
+	"fmt"
+	"go/token"
+	"path"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// AppliesTo reports whether the analyzer runs on the package with the
+	// given import path (scoping: simulation domain vs. harness code).
+	AppliesTo func(pkgPath string) bool
+	// Run analyzes one type-checked package, reporting via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// A Diagnostic is one finding. File is module-relative when possible.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+}
+
+// Sort orders diagnostics by file, line, column, analyzer, message.
+func Sort(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// A Pass carries one analyzer run over one package unit.
+type Pass struct {
+	Analyzer *Analyzer
+	Unit     *Unit
+
+	diags  *[]Diagnostic
+	allows map[allowKey]bool
+}
+
+// Reportf records a finding at pos unless an allow directive suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Unit.Fset.Position(pos)
+	file := p.Unit.relFile(position.Filename)
+	if p.allows[allowKey{file, position.Line, p.Analyzer.Name}] ||
+		p.allows[allowKey{file, position.Line - 1, p.Analyzer.Name}] {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     file,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowKey identifies one suppressed (file, line, analyzer) triple.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectAllows scans the unit's comments for //simlint:allow directives.
+// A directive suppresses findings of the named analyzer on its own line and
+// on the line directly below it.
+func collectAllows(u *Unit) map[allowKey]bool {
+	allows := make(map[allowKey]bool)
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "simlint:allow") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "simlint:allow"))
+				if len(fields) == 0 {
+					continue // malformed directive: no analyzer name
+				}
+				pos := u.Fset.Position(c.Pos())
+				allows[allowKey{u.relFile(pos.Filename), pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return allows
+}
+
+// RunUnit runs every applicable analyzer over one package unit and returns
+// the findings (unsorted; callers aggregate and Sort).
+func RunUnit(u *Unit, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	allows := collectAllows(u)
+	for _, a := range analyzers {
+		if a.AppliesTo != nil && !a.AppliesTo(u.Path) {
+			continue
+		}
+		a.Run(&Pass{Analyzer: a, Unit: u, diags: &diags, allows: allows})
+	}
+	return diags
+}
+
+// All returns the full analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{Walltime, Globalrand, Payloadretain, Maporder, Baregoroutine}
+}
+
+// simDomain names the packages (by final import-path element) that run in
+// simulated virtual time. Harness code (sweep, bench, trace, machine,
+// cmd/*, examples/*) is deliberately outside the domain: it measures and
+// drives simulations from the host and may use the wall clock freely.
+var simDomain = map[string]bool{
+	"sim":       true,
+	"switchnet": true,
+	"adapter":   true,
+	"hal":       true,
+	"lapi":      true,
+	"pipes":     true,
+	"mpci":      true,
+	"mpi":       true,
+	"cluster":   true,
+	"nas":       true,
+}
+
+// injectionBoundary names the packages where caller-owned payload bytes
+// cross into the in-flight packet world (the PR 1 bug class).
+var injectionBoundary = map[string]bool{
+	"switchnet": true,
+	"adapter":   true,
+	"hal":       true,
+	"lapi":      true,
+}
+
+// InSimDomain reports whether pkgPath is a simulation-domain package.
+func InSimDomain(pkgPath string) bool { return simDomain[path.Base(pkgPath)] }
+
+// InInjectionBoundary reports whether pkgPath handles the packet injection
+// boundary.
+func InInjectionBoundary(pkgPath string) bool { return injectionBoundary[path.Base(pkgPath)] }

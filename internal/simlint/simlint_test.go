@@ -1,0 +1,79 @@
+package simlint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"splapi/internal/simlint"
+)
+
+// TestTreeIsSimlintClean is the in-repo half of the determinism gate: the
+// whole module (tests included) must produce zero findings, so `go test`
+// enforces the invariants even without the CI workflow or cmd/simlint.
+func TestTreeIsSimlintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	ld, err := simlint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld.IncludeTests = true
+	dirs, err := simlint.Expand([]string{filepath.Join(ld.ModuleDir, "...")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no package directories found")
+	}
+	var diags []simlint.Diagnostic
+	for _, dir := range dirs {
+		units, err := ld.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		for _, u := range units {
+			diags = append(diags, simlint.RunUnit(u, simlint.All())...)
+		}
+	}
+	simlint.Sort(diags)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestAnalyzerScoping locks the domain classification the whole suite
+// hangs off: sim-domain packages are checked, harness packages are not.
+func TestAnalyzerScoping(t *testing.T) {
+	for _, p := range []string{
+		"splapi/internal/sim", "splapi/internal/switchnet", "splapi/internal/adapter",
+		"splapi/internal/hal", "splapi/internal/lapi", "splapi/internal/pipes",
+		"splapi/internal/mpci", "splapi/internal/mpi", "splapi/internal/cluster",
+		"splapi/internal/nas",
+	} {
+		if !simlint.InSimDomain(p) {
+			t.Errorf("InSimDomain(%q) = false, want true", p)
+		}
+	}
+	for _, p := range []string{
+		"splapi", "splapi/internal/sweep", "splapi/internal/bench",
+		"splapi/internal/trace", "splapi/internal/machine",
+		"splapi/internal/simlint", "splapi/internal/simlint/simlinttest",
+		"splapi/cmd/spsim", "splapi/cmd/simlint", "splapi/examples/quickstart",
+	} {
+		if simlint.InSimDomain(p) {
+			t.Errorf("InSimDomain(%q) = true, want false", p)
+		}
+	}
+	for _, p := range []string{
+		"splapi/internal/switchnet", "splapi/internal/adapter",
+		"splapi/internal/hal", "splapi/internal/lapi",
+	} {
+		if !simlint.InInjectionBoundary(p) {
+			t.Errorf("InInjectionBoundary(%q) = false, want true", p)
+		}
+	}
+	if simlint.InInjectionBoundary("splapi/internal/mpi") {
+		t.Error("InInjectionBoundary(mpi) = true, want false (mpi sits above the boundary)")
+	}
+}

@@ -1,0 +1,124 @@
+// Package simlinttest runs simlint analyzers over fixture packages under
+// testdata/src and checks their findings against `// want` expectations,
+// in the style of golang.org/x/tools/go/analysis/analysistest (which this
+// offline repository cannot depend on).
+//
+// A fixture line that must be flagged carries a trailing comment with one
+// or more backquoted regular expressions:
+//
+//	r.last = pkt // want `stored into field`
+//
+// Every diagnostic must match a want on its line and every want must be
+// matched, otherwise the test fails. Fixtures may import real module
+// packages (e.g. splapi/internal/sim); the loader resolves them from the
+// module tree.
+package simlinttest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"splapi/internal/simlint"
+)
+
+var (
+	loaderOnce sync.Once
+	loaderVal  *simlint.Loader
+	loaderErr  error
+)
+
+// loader returns a process-wide shared loader so stdlib packages are
+// type-checked from source only once across all analyzer tests.
+func loader() (*simlint.Loader, error) {
+	loaderOnce.Do(func() {
+		loaderVal, loaderErr = simlint.NewLoader(".")
+	})
+	return loaderVal, loaderErr
+}
+
+var wantRE = regexp.MustCompile("`([^`]+)`")
+
+// Run loads each fixture package (a path under testdata/src, relative to
+// the calling test's working directory) and checks analyzer a's findings
+// against the fixture's want comments.
+func Run(t *testing.T, a *simlint.Analyzer, fixtures ...string) {
+	t.Helper()
+	ld, err := loader()
+	if err != nil {
+		t.Fatalf("simlinttest: %v", err)
+	}
+	for _, fx := range fixtures {
+		dir := filepath.Join("testdata", "src", filepath.FromSlash(fx))
+		units, err := ld.LoadDirAs(dir, fx)
+		if err != nil {
+			t.Fatalf("simlinttest: loading %s: %v", fx, err)
+		}
+		if len(units) == 0 {
+			t.Fatalf("simlinttest: no Go files in %s", dir)
+		}
+		for _, u := range units {
+			diags := simlint.RunUnit(u, []*simlint.Analyzer{a})
+			simlint.Sort(diags)
+			check(t, fx, u, diags)
+		}
+	}
+}
+
+type wantKey struct {
+	file string // base name
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func check(t *testing.T, fixture string, u *simlint.Unit, diags []simlint.Diagnostic) {
+	t.Helper()
+	wants := make(map[wantKey][]*want)
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				key := wantKey{filepath.Base(pos.Filename), pos.Line}
+				for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp at %s:%d: %v", fixture, key.file, key.line, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		key := wantKey{filepath.Base(d.File), d.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic:\n  %s", fixture, d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none",
+					fixture, key.file, key.line, w.re)
+			}
+		}
+	}
+}

@@ -1,0 +1,9 @@
+// Fixture: bench is harness code — worker-pool goroutines are its job.
+// Nothing here may be flagged.
+package bench
+
+func fanOut(n int, work func(int)) {
+	for i := 0; i < n; i++ {
+		go work(i)
+	}
+}

@@ -1,0 +1,28 @@
+// Fixture: package-level math/rand draws and ad-hoc source construction
+// must be flagged in simulation packages; methods on an injected
+// *rand.Rand (what sim.Engine.Rand returns) are the blessed path.
+package lapi
+
+import "math/rand"
+
+func Jitter() int64 {
+	return rand.Int63n(100) // want `package-level rand\.Int63n`
+}
+
+func Backoff() float64 {
+	return rand.Float64() // want `package-level rand\.Float64`
+}
+
+func OwnSource(seed int64) *rand.Rand {
+	s := rand.NewSource(seed) // want `package-level rand\.NewSource`
+	return rand.New(s)        // want `package-level rand\.New`
+}
+
+func FromEngine(r *rand.Rand) float64 {
+	return r.Float64() // engine-provided source: fine
+}
+
+func Allowed() int {
+	//simlint:allow globalrand fixture demonstrating the directive
+	return rand.Intn(6)
+}

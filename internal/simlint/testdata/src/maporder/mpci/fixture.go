@@ -1,0 +1,77 @@
+// Fixture: map iteration whose body schedules events, sends (packets or on
+// channels), or accumulates into an ordered slice must be flagged; pure
+// reductions and the collect-then-sort idiom stay legal.
+package mpci
+
+import (
+	"sort"
+
+	"splapi/internal/sim"
+)
+
+type sched struct {
+	eng   *sim.Engine
+	peers map[int]sim.Time
+	out   chan int
+}
+
+func (s *sched) Flush() {
+	for peer, t := range s.peers { // want `iteration over map s\.peers schedules events`
+		p := peer
+		s.eng.At(t, func() { s.notify(p) })
+	}
+}
+
+func (s *sched) Drain() {
+	for peer := range s.peers { // want `iteration over map s\.peers sends on a channel`
+		s.out <- peer
+	}
+}
+
+func (s *sched) Collect() []int {
+	var order []int
+	for peer := range s.peers { // want `iteration over map s\.peers accumulates into slice order`
+		order = append(order, peer)
+	}
+	return order
+}
+
+// Sorted is the blessed idiom: collect the keys, sort, then act in sorted
+// order. Not flagged.
+func (s *sched) Sorted() {
+	var keys []int
+	for peer := range s.peers {
+		keys = append(keys, peer)
+	}
+	sort.Ints(keys)
+	for _, peer := range keys {
+		s.eng.At(s.peers[peer], func() {})
+	}
+}
+
+// ReadOnly reductions over a map are order-insensitive. Not flagged.
+func (s *sched) ReadOnly() int {
+	n := 0
+	for _, t := range s.peers {
+		if t > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// SliceRange: ranging over a slice is always fine.
+func (s *sched) SliceRange(deadlines []sim.Time) {
+	for _, t := range deadlines {
+		s.eng.At(t, func() {})
+	}
+}
+
+func (s *sched) Allowed() {
+	//simlint:allow maporder fixture demonstrating the directive
+	for peer := range s.peers {
+		s.out <- peer
+	}
+}
+
+func (s *sched) notify(int) {}

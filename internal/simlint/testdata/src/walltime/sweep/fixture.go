@@ -1,0 +1,11 @@
+// Fixture: sweep is harness code, outside the simulation domain — the
+// wall clock is how it measures real elapsed time. Nothing here may be
+// flagged.
+package sweep
+
+import "time"
+
+func Elapsed(start time.Time) time.Duration {
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}

@@ -1,0 +1,38 @@
+// Fixture: wall-clock calls in a simulation-domain package must be
+// flagged; time's types and constants stay legal, and the allow directive
+// suppresses an intentional use.
+package switchnet
+
+import (
+	"time"
+	wall "time"
+)
+
+// Model shows that time.Time/time.Duration as types are fine.
+type Model struct {
+	Deadline time.Time
+	Grace    time.Duration
+}
+
+func Tick(last time.Time) time.Duration {
+	start := time.Now()              // want `wall-clock time\.Now`
+	time.Sleep(time.Millisecond)     // want `wall-clock time\.Sleep`
+	_ = wall.Since(last)             // want `wall-clock time\.Since`
+	d := time.Now().Add(time.Second) // want `wall-clock time\.Now`
+	_ = d
+	return wall.Until(start) // want `wall-clock time\.Until`
+}
+
+func Timers() {
+	_ = time.After(time.Second) // want `wall-clock time\.After`
+	_ = time.NewTicker(1)       // want `wall-clock time\.NewTicker`
+	_ = time.NewTimer(1)        // want `wall-clock time\.NewTimer`
+}
+
+func Allowed() time.Time {
+	//simlint:allow walltime fixture demonstrating the directive
+	a := time.Now()
+	b := time.Now() //simlint:allow walltime same-line directive
+	_ = b
+	return a
+}

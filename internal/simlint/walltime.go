@@ -1,0 +1,48 @@
+package simlint
+
+import "go/types"
+
+// walltimeDeny lists the package-level time functions that read or wait on
+// the host's wall clock. Types (time.Time, time.Duration) and constants
+// stay legal: they appear in APIs and cost models without touching the
+// clock.
+var walltimeDeny = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// Walltime forbids wall-clock reads and waits in simulation packages. A
+// simulated component that consults the host clock produces different
+// virtual schedules on different machines (or runs), destroying the
+// bit-identical-replay guarantee the whole benchmark methodology rests on.
+var Walltime = &Analyzer{
+	Name:      "walltime",
+	Doc:       "forbid wall-clock time (time.Now, time.Sleep, ...) in simulation packages",
+	AppliesTo: InSimDomain,
+	Run:       walltimeRun,
+}
+
+func walltimeRun(pass *Pass) {
+	for id, obj := range pass.Unit.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			continue // methods on time.Time etc. don't touch the clock
+		}
+		if !walltimeDeny[fn.Name()] {
+			continue
+		}
+		pass.Reportf(id.Pos(),
+			"wall-clock time.%s in a simulation package: simulated code runs in virtual time (use sim.Engine.Now/At/After or Proc.Sleep)",
+			fn.Name())
+	}
+}

@@ -1,0 +1,15 @@
+package simlint_test
+
+import (
+	"testing"
+
+	"splapi/internal/simlint"
+	"splapi/internal/simlint/simlinttest"
+)
+
+func TestWalltime(t *testing.T) {
+	simlinttest.Run(t, simlint.Walltime,
+		"walltime/switchnet", // sim-domain package: clock calls flagged
+		"walltime/sweep",     // harness package: clock is fair game
+	)
+}
