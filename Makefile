@@ -1,6 +1,6 @@
 # Tier-1 verification, as run by CI (.github/workflows/ci.yml).
 
-.PHONY: verify build vet test lint tidy-check
+.PHONY: verify build vet test lint tidy-check bench bench-smoke determinism-check
 
 verify: build vet test lint tidy-check
 
@@ -19,3 +19,20 @@ lint:
 
 tidy-check:
 	go mod tidy -diff
+
+# bench measures the simulator's wall-clock throughput (kernel
+# microbenchmarks plus whole-sweep cells) against the committed baseline
+# and writes BENCH_walltime.json; schema in EXPERIMENTS.md.
+bench:
+	go run ./cmd/walltime -rounds 5 -baseline BENCH_walltime_baseline.json -o BENCH_walltime.json
+
+# bench-smoke is the CI bit-rot check: one tiny round, artifact discarded.
+bench-smoke:
+	go run ./cmd/walltime -smoke -o /tmp/BENCH_walltime_smoke.json
+
+# determinism-check regenerates the fig10 sweep (16 seeds, same knobs as
+# the committed artifact) and demands point-identity at zero tolerance:
+# performance work on the kernel must never move a virtual-time result.
+determinism-check:
+	go run ./cmd/sweep -exp fig10 -seeds 16 -o /tmp/BENCH_fig10_regen.json
+	go run ./cmd/sweep -compare BENCH_fig10.json /tmp/BENCH_fig10_regen.json -tol 0

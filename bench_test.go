@@ -140,6 +140,39 @@ func BenchmarkNAS(b *testing.B) {
 	}
 }
 
+// BenchmarkPingPongWallclock measures the wall-clock cost of one complete
+// ping-pong cell (cluster build + 14 round trips) and derives the
+// simulator's round-trip rate. This is the end-to-end hot-path benchmark:
+// every kernel, transport, and copy cost shows up here.
+func BenchmarkPingPongWallclock(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bench.MPIPingPong(cluster.LAPIEnhanced, 1024, false)
+	}
+	rts := float64(bench.PingPongRoundTrips) * float64(b.N)
+	b.ReportMetric(rts/b.Elapsed().Seconds(), "roundtrips/s")
+}
+
+// BenchmarkFig10SweepCell runs one full cell of the fig10 sweep (the
+// 64 KiB MPI-LAPI Enhanced point, trace collection included) exactly as
+// cmd/sweep executes it, so allocs/op tracks the real sweep workload.
+func BenchmarkFig10SweepCell(b *testing.B) {
+	var cell bench.Cell
+	for _, c := range bench.Fig10Experiment().Cells {
+		if c.Series == "MPI-LAPI Enhanced" && c.X == 65536 {
+			cell = c
+		}
+	}
+	if cell.Run == nil {
+		b.Fatal("fig10 cell MPI-LAPI Enhanced/65536 not found")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cell.Run(1, nil)
+	}
+}
+
 // BenchmarkAblations regenerates the design-choice ablations DESIGN.md
 // calls out (context-switch cost, native copy rule, eager limit).
 func BenchmarkAblations(b *testing.B) {

@@ -15,13 +15,23 @@ import (
 	"os"
 
 	"splapi/internal/bench"
+	"splapi/internal/prof"
 	"splapi/internal/sweep"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	exp := flag.String("exp", "all", "experiment to run (fig10, fig11, fig12, fig13, nas, table2, ablate-ctxswitch, ablate-copies, ablate-eager, generations, stats, all)")
 	jsonOut := flag.Bool("json", false, "additionally write BENCH_<exp>.json for registry experiments (single seed; use cmd/sweep for multi-seed)")
+	pf := prof.Flags()
 	flag.Parse()
+	stop, err := pf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spsim:", err)
+		return 2
+	}
+	defer stop()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 	any := false
@@ -82,7 +92,7 @@ func main() {
 	if !any {
 		fmt.Fprintf(os.Stderr, "spsim: unknown experiment %q\n", *exp)
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	if *jsonOut {
 		for _, e := range bench.Experiments() {
@@ -92,14 +102,15 @@ func main() {
 			res, err := sweep.Run(e, sweep.Options{Seeds: 1})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "spsim:", err)
-				os.Exit(1)
+				return 1
 			}
 			path := "BENCH_" + e.ID + ".json"
 			if err := sweep.Save(path, res); err != nil {
 				fmt.Fprintln(os.Stderr, "spsim:", err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("wrote %s\n", path)
 		}
 	}
+	return 0
 }

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"splapi/internal/bench"
+	"splapi/internal/prof"
 	"splapi/internal/sweep"
 )
 
@@ -33,7 +34,9 @@ func gitDescribe() string {
 	return strings.TrimSpace(string(out))
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		exp      = flag.String("exp", "", "experiment id to sweep, or 'all'")
 		seeds    = flag.Int("seeds", 1, "repetitions per cell (distinct derived seeds)")
@@ -47,13 +50,20 @@ func main() {
 		tol      = flag.Float64("tol", 0, "comparison tolerance in percent of the old median")
 		verbose  = flag.Bool("v", false, "verbose comparison output (include within-CI points)")
 	)
+	pf := prof.Flags()
 	flag.Parse()
+	stop, err := pf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		return 2
+	}
+	defer stop()
 
 	if *list {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-18s %3d cells  [%s]  %s\n", e.ID, len(e.Cells), e.Unit, e.Title)
 		}
-		return
+		return 0
 	}
 
 	if *compare {
@@ -67,36 +77,36 @@ func main() {
 		}
 		if len(args) != 2 {
 			fmt.Fprintln(os.Stderr, "sweep: -compare needs exactly two result files")
-			os.Exit(2)
+			return 2
 		}
 		oldRes, err := sweep.Load(args[0])
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(2)
+			return 2
 		}
 		newRes, err := sweep.Load(args[1])
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(2)
+			return 2
 		}
 		deltas, err := sweep.Compare(oldRes, newRes, *tol)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(2)
+			return 2
 		}
 		sweep.PrintDeltas(os.Stdout, deltas, *verbose)
 		regs := sweep.Regressions(deltas)
 		if len(regs) > 0 {
 			fmt.Printf("%d regression(s) beyond the CI (+%g%% tolerance)\n", len(regs), *tol)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("no regressions (%d points compared, tolerance %g%%)\n", len(deltas), *tol)
-		return
+		return 0
 	}
 
 	if *exp == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	var exps []bench.Experiment
 	if *exp == "all" {
@@ -106,7 +116,7 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			fmt.Fprintln(os.Stderr, "sweep: use -list to see available experiments")
-			os.Exit(2)
+			return 2
 		}
 		exps = []bench.Experiment{e}
 	}
@@ -119,7 +129,7 @@ func main() {
 		res, err := sweep.Run(e, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			return 1
 		}
 		res.Print(os.Stdout)
 		path := *out
@@ -128,8 +138,9 @@ func main() {
 		}
 		if err := sweep.Save(path, res); err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("  wrote %s\n\n", path)
 	}
+	return 0
 }

@@ -1,0 +1,264 @@
+// Command walltime measures the simulator's own wall-clock throughput and
+// persists it as a machine-readable artifact, so every PR's effect on host
+// performance is visible in the repo history (the virtual-time BENCH_*.json
+// sweeps deliberately cannot show this).
+//
+// Usage:
+//
+//	walltime -rounds 5 -o BENCH_walltime.json
+//	walltime -baseline BENCH_walltime_baseline.json -o BENCH_walltime.json
+//	walltime -smoke             # 1 round, tiny iteration counts (CI bit-rot check)
+//
+// Each benchmark runs rounds times; the artifact records every round's
+// ns/op plus the median (wall-clock dispersion is real, so the median-of-N
+// discipline from the multi-seed sweeps applies here too). Allocations are
+// measured with runtime.ReadMemStats around each round. With -baseline the
+// named artifact is embedded in the output and a speedup table is printed.
+// The schema is documented in EXPERIMENTS.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"splapi/internal/bench"
+	"splapi/internal/cluster"
+	"splapi/internal/sim"
+)
+
+// Result is one benchmark's aggregated measurement.
+type Result struct {
+	Name        string    `json:"name"`
+	Iters       int       `json:"iters"`
+	Rounds      []float64 `json:"rounds_ns_per_op"`
+	NsPerOp     float64   `json:"ns_per_op"` // median of Rounds
+	PerSec      float64   `json:"per_sec"`   // 1e9 / NsPerOp
+	AllocsPerOp float64   `json:"allocs_per_op"`
+}
+
+// Artifact is the BENCH_walltime.json schema ("walltime/v1").
+type Artifact struct {
+	Schema     string    `json:"schema"`
+	Git        string    `json:"git"`
+	Go         string    `json:"go"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Rounds     int       `json:"rounds"`
+	Benchmarks []Result  `json:"benchmarks"`
+	Baseline   *Artifact `json:"baseline,omitempty"`
+}
+
+type benchmark struct {
+	name  string
+	iters int // per-round iterations at full scale
+	run   func(iters int)
+}
+
+// benchmarks mirrors the `go test -bench` suite (internal/sim/bench_test.go
+// and the top-level bench_test.go) so the committed artifact and the ad-hoc
+// bench runs measure the same workloads.
+func benchmarks() []benchmark {
+	return []benchmark{
+		{"kernel/events", 400000, runEvents},
+		{"kernel/timer-stop", 400000, runTimerStop},
+		{"kernel/sleep", 100000, runSleep},
+		{"mpi/pingpong-1KiB", 24, runPingPong},
+		{"sweep/fig10-cell-64KiB", 4, runFig10Cell},
+	}
+}
+
+// runEvents is the events/sec kernel microbenchmark: schedule and dispatch
+// no-op callbacks with a standing batch in the queue.
+func runEvents(iters int) {
+	e := sim.NewEngine(1)
+	fn := func() {}
+	const batch = 512
+	pending := 0
+	for i := 0; i < iters; i++ {
+		e.After(sim.Time(pending), fn)
+		pending++
+		if pending == batch {
+			e.Run(0)
+			pending = 0
+		}
+	}
+	e.Run(0)
+}
+
+// runTimerStop is the arm-then-cancel cycle of the transport ack/rtx timers.
+func runTimerStop(iters int) {
+	e := sim.NewEngine(1)
+	fn := func() {}
+	for i := 0; i < iters; i++ {
+		tm := e.After(64, fn)
+		tm.Stop()
+		if i&255 == 255 {
+			e.Run(0)
+		}
+	}
+	e.Run(0)
+}
+
+// runSleep is the park/unpark round trip of Proc.Sleep.
+func runSleep(iters int) {
+	e := sim.NewEngine(1)
+	e.Spawn("sleeper", func(p *sim.Proc) {
+		for i := 0; i < iters; i++ {
+			p.Sleep(1)
+		}
+	})
+	e.Run(0)
+}
+
+// runPingPong is one complete 1 KiB Enhanced ping-pong cell per iteration.
+func runPingPong(iters int) {
+	for i := 0; i < iters; i++ {
+		bench.MPIPingPong(cluster.LAPIEnhanced, 1024, false)
+	}
+}
+
+// runFig10Cell is the 64 KiB MPI-LAPI Enhanced cell of the fig10 sweep,
+// trace collection included, exactly as cmd/sweep executes it.
+func runFig10Cell(iters int) {
+	var cell bench.Cell
+	for _, c := range bench.Fig10Experiment().Cells {
+		if c.Series == "MPI-LAPI Enhanced" && c.X == 65536 {
+			cell = c
+		}
+	}
+	if cell.Run == nil {
+		panic("walltime: fig10 cell MPI-LAPI Enhanced/65536 not found")
+	}
+	for i := 0; i < iters; i++ {
+		cell.Run(1, nil)
+	}
+}
+
+// measure runs one round and returns (ns/op, allocs/op).
+func measure(b benchmark, iters int) (float64, float64) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	b.run(iters)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	n := float64(iters)
+	return float64(elapsed.Nanoseconds()) / n, float64(m1.Mallocs-m0.Mallocs) / n
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func main() {
+	var (
+		rounds   = flag.Int("rounds", 5, "rounds per benchmark (median is reported)")
+		out      = flag.String("o", "", "output artifact path (default: print only)")
+		baseline = flag.String("baseline", "", "embed this prior artifact and print speedups")
+		smoke    = flag.Bool("smoke", false, "1 round, tiny iteration counts (bit-rot check only)")
+	)
+	flag.Parse()
+
+	if *smoke {
+		*rounds = 1
+	}
+	art := Artifact{
+		Schema:     "walltime/v1",
+		Git:        gitDescribe(),
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Rounds:     *rounds,
+	}
+	for _, b := range benchmarks() {
+		iters := b.iters
+		if *smoke {
+			iters = b.iters / 400
+			if iters < 1 {
+				iters = 1
+			}
+		}
+		var ns, allocs []float64
+		for r := 0; r < *rounds; r++ {
+			n, a := measure(b, iters)
+			ns = append(ns, n)
+			allocs = append(allocs, a)
+		}
+		res := Result{
+			Name:        b.name,
+			Iters:       iters,
+			Rounds:      ns,
+			NsPerOp:     median(ns),
+			AllocsPerOp: median(allocs),
+		}
+		res.PerSec = 1e9 / res.NsPerOp
+		art.Benchmarks = append(art.Benchmarks, res)
+		fmt.Printf("%-26s %12.1f ns/op %14.0f /sec %12.1f allocs/op\n",
+			b.name, res.NsPerOp, res.PerSec, res.AllocsPerOp)
+	}
+
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "walltime:", err)
+			os.Exit(2)
+		}
+		var base Artifact
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "walltime:", err)
+			os.Exit(2)
+		}
+		base.Baseline = nil // no nesting
+		art.Baseline = &base
+		fmt.Printf("\nvs baseline %s:\n", base.Git)
+		byName := make(map[string]Result)
+		for _, r := range base.Benchmarks {
+			byName[r.Name] = r
+		}
+		for _, r := range art.Benchmarks {
+			b, ok := byName[r.Name]
+			if !ok || r.NsPerOp == 0 {
+				continue
+			}
+			allocCut := 0.0
+			if b.AllocsPerOp > 0 {
+				allocCut = 100 * (1 - r.AllocsPerOp/b.AllocsPerOp)
+			}
+			fmt.Printf("%-26s %6.2fx faster   allocs/op %10.1f -> %-10.1f (-%.1f%%)\n",
+				r.Name, b.NsPerOp/r.NsPerOp, b.AllocsPerOp, r.AllocsPerOp, allocCut)
+		}
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "walltime:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "walltime:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+}

@@ -107,6 +107,10 @@ func (a *Adapter) fromFabric(pkt *switchnet.Packet) {
 	a.eng.At(done, func() {
 		if len(a.fifo) >= a.par.RecvFIFOPackets {
 			a.stats.FIFODrops++
+			// The packet dies here; its pooled snapshot goes back to the
+			// engine (the delivery-path counterpart is HAL dispatch).
+			//simlint:allow payloadretain ownership transfer: a dropped packet's pooled payload returns to the engine pool
+			a.eng.Pool().Put(pkt.Payload)
 			return
 		}
 		a.fifo = append(a.fifo, pkt)

@@ -54,6 +54,11 @@ func paperParams() machine.Params {
 
 const pingIters = 12
 
+// PingPongRoundTrips is the number of round trips one ping-pong cell
+// executes (warmup + timed), so wall-clock benchmarks can convert
+// cells/sec into round-trips/sec.
+const PingPongRoundTrips = pingIters + 2
+
 // MPIPingPong measures one-way latency (microseconds) of MPI_Send/MPI_Recv
 // ping-pong between two nodes on the given stack, as in Sections 5.1/6.1.
 // With interrupts enabled, the receiver posts MPI_Irecv and checks the

@@ -41,13 +41,13 @@ type flow struct {
 	cumAcked uint64
 	unacked  []flowPkt
 	rtxArmed bool
-	rtxTimer *sim.Timer
+	rtxTimer sim.Timer
 
 	// Receiver state.
 	expected  uint64 // all seqs below this processed
 	processed map[uint64]bool
 	ackOwed   bool
-	ackTimer  *sim.Timer
+	ackTimer  sim.Timer
 	sinceAck  int
 }
 
@@ -71,7 +71,9 @@ func (f *flow) send(p *sim.Proc, kind byte, body []byte) {
 		f.l.stats.WindowStalls++
 		f.l.h.ProgressWait(p, func() bool { return len(f.unacked) < f.windowPkts() })
 	}
-	buf := make([]byte, flowHdrSize+len(body))
+	// The framed packet comes from the engine pool; the flow owns it while it
+	// sits in the retransmission window and returns it on cumulative ack.
+	buf := f.l.eng.Pool().Get(flowHdrSize + len(body))
 	buf[0] = hal.ProtoLAPI
 	buf[1] = kind
 	seq := f.nextSeq
@@ -90,10 +92,7 @@ func (f *flow) stampAck(buf []byte) {
 	binary.BigEndian.PutUint64(buf[10:18], f.expected)
 	if f.ackOwed {
 		f.ackOwed = false
-		if f.ackTimer != nil {
-			f.ackTimer.Stop()
-			f.ackTimer = nil
-		}
+		f.ackTimer.Stop()
 		f.l.stats.AcksPiggyback++
 	}
 	f.sinceAck = 0
@@ -137,12 +136,15 @@ func (f *flow) onAck(cum uint64) {
 	for i < len(f.unacked) && f.unacked[i].seq < cum {
 		i++
 	}
+	// Acked packets will never be retransmitted; their pooled framing
+	// buffers go back to the engine pool.
+	for _, pk := range f.unacked[:i] {
+		f.l.eng.Pool().Put(pk.payload)
+	}
 	f.unacked = f.unacked[i:]
 	// Progress: restart the retransmission timer rather than letting a
 	// stale one fire mid-stream and resend the whole window.
-	if f.rtxTimer != nil {
-		f.rtxTimer.Stop()
-	}
+	f.rtxTimer.Stop()
 	f.rtxArmed = false
 	f.armRtx()
 	f.l.h.KickProgress()
@@ -174,18 +176,18 @@ func (f *flow) accept(p *sim.Proc, seq uint64) bool {
 }
 
 func (f *flow) sendAck(p *sim.Proc) {
-	if f.ackTimer != nil {
-		f.ackTimer.Stop()
-		f.ackTimer = nil
-	}
+	f.ackTimer.Stop()
 	f.ackOwed = false
 	f.sinceAck = 0
-	buf := make([]byte, flowHdrSize)
+	buf := f.l.eng.Pool().Get(flowHdrSize)
 	buf[0] = hal.ProtoLAPI
 	buf[1] = kAck
 	binary.BigEndian.PutUint64(buf[10:18], f.expected)
 	f.l.stats.AcksSent++
 	f.l.h.Send(p, f.peer, buf)
+	// Standalone acks are never retransmitted: the fabric snapshotted the
+	// bytes inside h.Send, so the framing buffer is already dead.
+	f.l.eng.Pool().Put(buf)
 }
 
 func (f *flow) scheduleAck() {
@@ -194,7 +196,6 @@ func (f *flow) scheduleAck() {
 	}
 	f.ackOwed = true
 	f.ackTimer = f.l.eng.After(f.l.par.AckDelay, func() {
-		f.ackTimer = nil
 		if !f.ackOwed {
 			return
 		}

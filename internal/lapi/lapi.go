@@ -296,7 +296,17 @@ func (l *LAPI) sendMsg(p *sim.Proc, tgt int, op byte, hdrID int, uhdr, data []by
 	if len(uhdr) > l.par.PacketPayload-flowHdrSize-msgHdrFixed {
 		panic("lapi: user header too large for the header packet")
 	}
-	hdr := make([]byte, msgHdrFixed+len(uhdr))
+	hdrLen := msgHdrFixed + len(uhdr)
+
+	// First chunk rides in the header packet. The scratch buffer comes from
+	// the engine pool; flow.send copies it into its own framing buffer, so
+	// the scratch dies as soon as send returns.
+	room := l.par.PacketPayload - flowHdrSize - hdrLen
+	first := len(data)
+	if first > room {
+		first = room
+	}
+	hdr := l.eng.Pool().Get(hdrLen + first)
 	hdr[0] = op
 	binary.BigEndian.PutUint64(hdr[1:9], id)
 	binary.BigEndian.PutUint16(hdr[9:11], uint16(hdrID))
@@ -305,20 +315,15 @@ func (l *LAPI) sendMsg(p *sim.Proc, tgt int, op byte, hdrID int, uhdr, data []by
 	binary.BigEndian.PutUint16(hdr[17:19], uint16(tgtCntr))
 	binary.BigEndian.PutUint16(hdr[19:21], uint16(cmplCntr))
 	copy(hdr[msgHdrFixed:], uhdr)
-
-	// First chunk rides in the header packet.
-	room := l.par.PacketPayload - flowHdrSize - len(hdr)
-	first := len(data)
-	if first > room {
-		first = room
-	}
+	copy(hdr[hdrLen:], data[:first])
 	l.h.ChargeCPU(p, l.par.CopyCost(first))
-	f.send(p, kHdr, append(hdr, data[:first]...))
+	f.send(p, kHdr, hdr)
+	l.eng.Pool().Put(hdr)
 	l.stats.MsgsSent++
 	l.stats.BytesSent += uint64(len(data))
 	l.stats.DataPackets++
 
-	// Remaining chunks as data packets.
+	// Remaining chunks as data packets, staged through one pooled scratch.
 	off := first
 	chunkMax := l.par.PacketPayload - flowHdrSize - msgDataFixed
 	for off < len(data) {
@@ -326,12 +331,13 @@ func (l *LAPI) sendMsg(p *sim.Proc, tgt int, op byte, hdrID int, uhdr, data []by
 		if chunk > chunkMax {
 			chunk = chunkMax
 		}
-		body := make([]byte, msgDataFixed+chunk)
+		body := l.eng.Pool().Get(msgDataFixed + chunk)
 		binary.BigEndian.PutUint64(body[0:8], id)
 		binary.BigEndian.PutUint32(body[8:12], uint32(off))
 		copy(body[msgDataFixed:], data[off:off+chunk])
 		l.h.ChargeCPU(p, l.par.CopyCost(chunk))
 		f.send(p, kData, body)
+		l.eng.Pool().Put(body)
 		l.stats.DataPackets++
 		off += chunk
 	}
@@ -350,7 +356,7 @@ func (l *LAPI) loopback(p *sim.Proc, op byte, hdrID int, uhdr, data []byte, tgtC
 	m := &recvMsg{
 		key:     msgKey{src: l.node, id: l.nextMsgID},
 		op:      op,
-		uhdr:    append([]byte(nil), uhdr...),
+		uhdr:    l.eng.Pool().Snapshot(uhdr),
 		dataLen: len(data),
 		gotHdr:  true,
 		tgtCntr: tgtCntr,
@@ -395,10 +401,11 @@ func (l *LAPI) Amsend(p *sim.Proc, tgt, hdrID int, uhdr, data []byte, tgtCntr in
 func (l *LAPI) Put(p *sim.Proc, tgt, bufID, off int, data []byte, tgtCntr int, org *Counter, cmplCntr int) {
 	l.guardComm(p, "Put")
 	l.h.ChargeCPU(p, l.par.ParamCheckCost+l.par.SendCallOverhead)
-	uhdr := make([]byte, 6)
+	uhdr := l.eng.Pool().Get(6)
 	binary.BigEndian.PutUint16(uhdr[0:2], uint16(bufID))
 	binary.BigEndian.PutUint32(uhdr[2:6], uint32(off))
 	l.sendMsg(p, tgt, opPut, 0, uhdr, data, cntrID(tgtCntr), cntrID(cmplCntr), org)
+	l.eng.Pool().Put(uhdr)
 }
 
 // Get is LAPI_Get: read len(local) bytes from the target's registered
@@ -422,12 +429,13 @@ func (l *LAPI) Get(p *sim.Proc, tgt, bufID, off int, local []byte, tgtCntr int, 
 	// the arriving data directly in the caller's buffer.
 	//simlint:allow payloadretain asynchronous Get writes into the caller's buffer on reply
 	l.pendingGets[getID] = &getOp{buf: local, org: org}
-	uhdr := make([]byte, 14)
+	uhdr := l.eng.Pool().Get(14)
 	binary.BigEndian.PutUint16(uhdr[0:2], uint16(bufID))
 	binary.BigEndian.PutUint32(uhdr[2:6], uint32(off))
 	binary.BigEndian.PutUint32(uhdr[6:10], uint32(len(local)))
 	binary.BigEndian.PutUint32(uhdr[10:14], getID)
 	l.sendMsg(p, tgt, opGetReq, 0, uhdr, nil, cntrID(tgtCntr), noID, nil)
+	l.eng.Pool().Put(uhdr)
 }
 
 // Rmw is LAPI_Rmw: atomically apply op to the target's registered variable
@@ -445,12 +453,13 @@ func (l *LAPI) Rmw(p *sim.Proc, tgt, varID int, op RmwOp, in int64) int64 {
 	l.nextRmwID++
 	ro := &rmwOp{}
 	l.pendingRmws[rmwID] = ro
-	uhdr := make([]byte, 15)
+	uhdr := l.eng.Pool().Get(15)
 	binary.BigEndian.PutUint16(uhdr[0:2], uint16(varID))
 	uhdr[2] = byte(op)
 	binary.BigEndian.PutUint64(uhdr[3:11], uint64(in))
 	binary.BigEndian.PutUint32(uhdr[11:15], rmwID)
 	l.sendMsg(p, tgt, opRmwReq, 0, uhdr, nil, noID, noID, nil)
+	l.eng.Pool().Put(uhdr)
 	l.h.ProgressWait(p, func() bool { return ro.done })
 	delete(l.pendingRmws, rmwID)
 	return ro.prev

@@ -51,7 +51,7 @@ func (l *LAPI) onMsgHdr(p *sim.Proc, src int, body []byte) {
 		l.pending[key] = m
 	}
 	m.op = op
-	m.uhdr = append([]byte(nil), uhdr...)
+	m.uhdr = l.eng.Pool().Snapshot(uhdr)
 	m.dataLen = dataLen
 	m.gotHdr = true
 	m.tgtCntr = tgtCntr
@@ -81,9 +81,12 @@ func (l *LAPI) onMsgHdr(p *sim.Proc, src int, body []byte) {
 	}
 
 	l.store(p, m, 0, first)
-	// Flush any data packets that overtook the header packet.
+	// Flush any data packets that overtook the header packet. Once a stashed
+	// segment has been scattered into the message buffer its pooled copy is
+	// dead and returns to the engine pool.
 	for _, seg := range m.stash {
 		l.store(p, m, seg.off, seg.data)
+		l.eng.Pool().Put(seg.data)
 	}
 	m.stash = nil
 	l.maybeFinish(p, m)
@@ -103,7 +106,7 @@ func (l *LAPI) onMsgData(p *sim.Proc, src int, body []byte) {
 		// The switch's routes delivered a data packet before the header
 		// packet: stash it until the header handler has supplied a buffer.
 		l.stats.StashedPackets++
-		m.stash = append(m.stash, stashSeg{off: off, data: append([]byte(nil), data...)})
+		m.stash = append(m.stash, stashSeg{off: off, data: l.eng.Pool().Snapshot(data)})
 		return
 	}
 	l.store(p, m, off, data)
@@ -184,6 +187,12 @@ func (l *LAPI) finishMsg(p *sim.Proc, m *recvMsg) {
 		cntr := int(binary.BigEndian.Uint16(m.uhdr[0:2]))
 		l.bumpCounter(p, cntr)
 	}
+	// Every op consumes the user header synchronously above (the Threaded
+	// completion closure captures only scalar fields), so the pooled snapshot
+	// taken in onMsgHdr/loopback is dead once the message has finished.
+	//simlint:allow payloadretain ownership transfer: the pooled uhdr snapshot returns to the engine pool with the completed message
+	l.eng.Pool().Put(m.uhdr)
+	m.uhdr = nil
 }
 
 // completeWithHandler finishes an Amsend/Put: run the completion handler in
@@ -229,9 +238,10 @@ func (l *LAPI) bumpCounter(p *sim.Proc, id int) {
 }
 
 func (l *LAPI) sendNotify(p *sim.Proc, tgt, cntrID int) {
-	uhdr := make([]byte, 2)
+	uhdr := l.eng.Pool().Get(2)
 	binary.BigEndian.PutUint16(uhdr[0:2], uint16(cntrID))
 	l.sendMsg(p, tgt, opNotify, 0, uhdr, nil, noID, noID, nil)
+	l.eng.Pool().Put(uhdr)
 }
 
 // serveGet answers a Get request: send the requested slice of the
@@ -242,10 +252,11 @@ func (l *LAPI) serveGet(p *sim.Proc, m *recvMsg) {
 	n := int(binary.BigEndian.Uint32(m.uhdr[6:10]))
 	getID := binary.BigEndian.Uint32(m.uhdr[10:14])
 	data := l.buffers[bufID][off : off+n]
-	reply := make([]byte, 4)
+	reply := l.eng.Pool().Get(4)
 	binary.BigEndian.PutUint32(reply[0:4], getID)
 	l.h.ChargeCPU(p, l.par.SendCallOverhead)
 	l.sendMsg(p, m.key.src, opGetReply, 0, reply, data, noID, noID, nil)
+	l.eng.Pool().Put(reply)
 	if m.tgtCntr != noID {
 		l.bumpCounter(p, m.tgtCntr)
 	}
@@ -258,11 +269,12 @@ func (l *LAPI) serveRmw(p *sim.Proc, m *recvMsg) {
 	in := int64(binary.BigEndian.Uint64(m.uhdr[3:11]))
 	rmwID := binary.BigEndian.Uint32(m.uhdr[11:15])
 	prev := applyRmw(l.rmwVars[varID], op, in)
-	reply := make([]byte, 12)
+	reply := l.eng.Pool().Get(12)
 	binary.BigEndian.PutUint32(reply[0:4], rmwID)
 	binary.BigEndian.PutUint64(reply[4:12], uint64(prev))
 	l.h.ChargeCPU(p, l.par.SendCallOverhead)
 	l.sendMsg(p, m.key.src, opRmwReply, 0, reply, nil, noID, noID, nil)
+	l.eng.Pool().Put(reply)
 }
 
 // completionLoop is the completion-handler thread (Threaded variant): it

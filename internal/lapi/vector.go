@@ -32,7 +32,7 @@ func (l *LAPI) Putv(p *sim.Proc, tgt, bufID int, entries []VecEntry, data []byte
 	l.h.ChargeCPU(p, l.par.ParamCheckCost+l.par.SendCallOverhead)
 	// The vector description rides in the user header:
 	// [0:2]=bufID [2:4]=count, then per entry [off uint32][len uint32].
-	uhdr := make([]byte, 4+8*len(entries))
+	uhdr := l.eng.Pool().Get(4 + 8*len(entries))
 	binary.BigEndian.PutUint16(uhdr[0:2], uint16(bufID))
 	binary.BigEndian.PutUint16(uhdr[2:4], uint16(len(entries)))
 	for i, e := range entries {
@@ -40,6 +40,7 @@ func (l *LAPI) Putv(p *sim.Proc, tgt, bufID int, entries []VecEntry, data []byte
 		binary.BigEndian.PutUint32(uhdr[8+8*i:], uint32(e.Len))
 	}
 	l.sendMsg(p, tgt, opPutv, 0, uhdr, data, cntrID(tgtCntr), cntrID(cmplCntr), org)
+	l.eng.Pool().Put(uhdr)
 }
 
 // Getv is LAPI_Getv: gather the strips of the target's registered buffer
@@ -72,7 +73,7 @@ func (l *LAPI) Getv(p *sim.Proc, tgt, bufID int, entries []VecEntry, local []byt
 	// directly in the caller's buffer.
 	//simlint:allow payloadretain asynchronous Getv writes into the caller's buffer on reply
 	l.pendingGets[getID] = &getOp{buf: local, org: org}
-	uhdr := make([]byte, 8+8*len(entries))
+	uhdr := l.eng.Pool().Get(8 + 8*len(entries))
 	binary.BigEndian.PutUint16(uhdr[0:2], uint16(bufID))
 	binary.BigEndian.PutUint16(uhdr[2:4], uint16(len(entries)))
 	binary.BigEndian.PutUint32(uhdr[4:8], getID)
@@ -81,13 +82,15 @@ func (l *LAPI) Getv(p *sim.Proc, tgt, bufID int, entries []VecEntry, local []byt
 		binary.BigEndian.PutUint32(uhdr[12+8*i:], uint32(e.Len))
 	}
 	l.sendMsg(p, tgt, opGetvReq, 0, uhdr, nil, cntrID(tgtCntr), noID, nil)
+	l.eng.Pool().Put(uhdr)
 }
 
 // putvTarget resolves a Putv message: since strips are disjoint regions of
 // the registered buffer, the message assembles into a scratch buffer and
 // scatters on completion (the scatter copy is charged).
 func (l *LAPI) putvTarget(m *recvMsg) {
-	m.buf = make([]byte, m.dataLen)
+	// Pooled scratch; finishPutv scatters out of it and returns it.
+	m.buf = l.eng.Pool().Get(m.dataLen)
 }
 
 // finishPutv scatters the assembled strips into the registered buffer.
@@ -102,6 +105,10 @@ func (l *LAPI) finishPutv(p *sim.Proc, m *recvMsg) {
 		copy(l.buffers[bufID][off:off+n], m.buf[at:at+n])
 		at += n
 	}
+	// The assembly scratch allocated by putvTarget is dead once scattered.
+	//simlint:allow payloadretain ownership transfer: the pooled Putv assembly scratch returns to the engine pool
+	l.eng.Pool().Put(m.buf)
+	m.buf = nil
 }
 
 // serveGetv answers a Getv request by gathering the strips and sending
@@ -110,16 +117,24 @@ func (l *LAPI) serveGetv(p *sim.Proc, m *recvMsg) {
 	bufID := int(binary.BigEndian.Uint16(m.uhdr[0:2]))
 	count := int(binary.BigEndian.Uint16(m.uhdr[2:4]))
 	getID := binary.BigEndian.Uint32(m.uhdr[4:8])
-	var data []byte
+	total := 0
+	for i := 0; i < count; i++ {
+		total += int(binary.BigEndian.Uint32(m.uhdr[12+8*i:]))
+	}
+	data := l.eng.Pool().Get(total)
+	at := 0
 	for i := 0; i < count; i++ {
 		off := int(binary.BigEndian.Uint32(m.uhdr[8+8*i:]))
 		n := int(binary.BigEndian.Uint32(m.uhdr[12+8*i:]))
-		data = append(data, l.buffers[bufID][off:off+n]...)
+		copy(data[at:at+n], l.buffers[bufID][off:off+n])
+		at += n
 	}
 	l.h.ChargeCPU(p, l.par.CopyCost(len(data))+l.par.SendCallOverhead)
-	reply := make([]byte, 4)
+	reply := l.eng.Pool().Get(4)
 	binary.BigEndian.PutUint32(reply[0:4], getID)
 	l.sendMsg(p, m.key.src, opGetReply, 0, reply, data, noID, noID, nil)
+	l.eng.Pool().Put(reply)
+	l.eng.Pool().Put(data)
 	if m.tgtCntr != noID {
 		l.bumpCounter(p, m.tgtCntr)
 	}

@@ -50,7 +50,7 @@ func (pr *LAPIProvider) hdrEager(p *sim.Proc, src int, env Envelope, seq uint32,
 		// into an early-arrival buffer and defer the matching decision
 		// until the envelopes before it have been processed (MPI ordering).
 		pr.stats.EnvOOO++
-		em := &earlyMsg{env: env, data: make([]byte, dataLen), bsendSlot: slot}
+		em := &earlyMsg{env: env, data: pr.eng.Pool().Get(dataLen), bsendSlot: slot}
 		pr.envOOO[src][seq] = em
 		return em.data, pr.eagerCmplFor(src, em), em
 	}
@@ -77,7 +77,7 @@ func (pr *LAPIProvider) matchEagerInOrder(p *sim.Proc, src int, env Envelope, sl
 		panic("mpci: ready-mode message arrived with no matching receive posted (fatal per MPI)")
 	}
 	pr.stats.Unexpected++
-	em := &earlyMsg{env: env, data: make([]byte, dataLen), bsendSlot: slot}
+	em := &earlyMsg{env: env, data: pr.eng.Pool().Get(dataLen), bsendSlot: slot}
 	pr.core.addEarly(em)
 	return em.data, pr.eagerCmplFor(src, em), em
 }

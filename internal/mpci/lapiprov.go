@@ -192,7 +192,9 @@ func (pr *LAPIProvider) buildUhdr(kind byte, mode Mode, blocking bool, seq uint3
 	if n < uhdrMin {
 		n = uhdrMin
 	}
-	b := make([]byte, n)
+	// Amsend consumes the user header synchronously (LAPI snapshots it into
+	// its own message state), so callers return it to the pool afterwards.
+	b := pr.eng.Pool().Get(n)
 	b[0] = kind
 	b[1] = byte(mode)
 	if blocking {
@@ -275,6 +277,10 @@ func (pr *LAPIProvider) isend(p *sim.Proc, dst int, buf []byte, tag, ctx int, mo
 	}
 	if dst == pr.rank {
 		pr.selfSend(p, req, buf)
+		if mode == ModeBuffered {
+			// selfSend copied or snapshotted the staged bytes.
+			pr.eng.Pool().Put(buf)
+		}
 		return req
 	}
 	if pr.useEager(mode, len(buf)) {
@@ -287,10 +293,14 @@ func (pr *LAPIProvider) isend(p *sim.Proc, dst int, buf []byte, tag, ctx int, mo
 			tgtCntr = pr.rank // counter ids are ranks, exchanged at init
 		}
 		pr.l.Amsend(p, dst, pr.hid, uhdr, buf, tgtCntr, nil, -1)
+		pr.eng.Pool().Put(uhdr)
 		pr.stats.BytesSent += uint64(len(buf))
 		req.done = true
 		if mode == ModeBuffered {
 			req.done = true // staging copy owns the data; slot freed on BsendDone
+			// Amsend copied the staged bytes into flow packets, so the
+			// pooled staging copy itself is already dead.
+			pr.eng.Pool().Put(buf)
 		}
 		return req
 	}
@@ -303,6 +313,7 @@ func (pr *LAPIProvider) isend(p *sim.Proc, dst int, buf []byte, tag, ctx int, mo
 	pr.envSeqOut[dst]++
 	uhdr := pr.buildUhdr(uRTS, mode, blocking, seq, ctx, tag, len(buf), id, slot)
 	pr.l.Amsend(p, dst, pr.hid, uhdr, nil, -1, nil, -1)
+	pr.eng.Pool().Put(uhdr)
 	if blocking {
 		// Figure 6: wait for the acknowledgement, then send the data from
 		// this process.
@@ -318,6 +329,12 @@ func (pr *LAPIProvider) sendRdvData(p *sim.Proc, req *SendReq) {
 	req.rdvBuf = nil
 	uhdr := pr.buildUhdr(uRdvData, req.Env.Mode, false, 0, req.Env.Ctx, req.Env.Tag, len(buf), req.recvID, req.bsendSlot)
 	pr.l.Amsend(p, req.Dst, pr.hid, uhdr, buf, -1, nil, -1)
+	pr.eng.Pool().Put(uhdr)
+	if req.bsendSlot != 0 {
+		// Buffered rendezvous: buf is the pooled staging copy, fully
+		// consumed by Amsend.
+		pr.eng.Pool().Put(buf)
+	}
 	pr.stats.BytesSent += uint64(len(buf))
 	req.done = true
 	pr.l.HAL().KickProgress()
@@ -362,6 +379,10 @@ func (pr *LAPIProvider) claimEarly(p *sim.Proc, req *RecvReq, em *earlyMsg) {
 func (pr *LAPIProvider) finishEarly(p *sim.Proc, req *RecvReq, em *earlyMsg) {
 	pr.l.HAL().ChargeCPU(p, pr.par.CopyCost(em.env.Size))
 	copy(req.Buf, em.data)
+	// The pooled early-arrival buffer is dead once drained into the user
+	// buffer.
+	pr.eng.Pool().Put(em.data)
+	em.data = nil
 	pr.core.releaseEarly(em)
 	if em.onClaim != nil {
 		em.onClaim(p)
@@ -378,6 +399,7 @@ func (pr *LAPIProvider) finishRecv(p *sim.Proc, req *RecvReq, env Envelope, slot
 		pr.deferSend(func(p *sim.Proc) {
 			uhdr := pr.buildUhdr(uBsendDone, 0, false, 0, 0, 0, 0, 0, slot)
 			pr.l.Amsend(p, env.Src, pr.hid, uhdr, nil, -1, nil, -1)
+			pr.eng.Pool().Put(uhdr)
 		})
 	}
 	pr.l.HAL().KickProgress()
@@ -388,6 +410,7 @@ func (pr *LAPIProvider) finishRecv(p *sim.Proc, req *RecvReq, env Envelope, slot
 func (pr *LAPIProvider) sendRTSAck(p *sim.Proc, dst int, sendReq, recvID uint32, blocking bool) {
 	uhdr := pr.buildUhdr(uRTSAck, 0, blocking, 0, 0, 0, 0, sendReq, recvID)
 	pr.l.Amsend(p, dst, pr.hid, uhdr, nil, -1, nil, -1)
+	pr.eng.Pool().Put(uhdr)
 }
 
 // Iprobe implements Provider.
@@ -429,7 +452,7 @@ func (pr *LAPIProvider) stageBsend(p *sim.Proc, buf []byte) ([]byte, uint32) {
 	pr.nextSlot++
 	pr.bsendSlots[slot] = len(buf)
 	pr.l.HAL().ChargeCPU(p, pr.par.CopyCost(len(buf)))
-	return append([]byte(nil), buf...), slot
+	return pr.eng.Pool().Snapshot(buf), slot
 }
 
 func (pr *LAPIProvider) freeBsendSlot(slot uint32) {
@@ -461,7 +484,7 @@ func (pr *LAPIProvider) selfSend(p *sim.Proc, req *SendReq, buf []byte) {
 	if env.Mode == ModeReady {
 		panic("mpci: ready-mode send with no matching receive posted (fatal per MPI)")
 	}
-	em := &earlyMsg{env: env, complete: true, data: append([]byte(nil), buf...)}
+	em := &earlyMsg{env: env, complete: true, data: pr.eng.Pool().Snapshot(buf)}
 	if env.Mode == ModeSync {
 		em.onClaim = func(p *sim.Proc) {
 			req.done = true

@@ -79,6 +79,9 @@ type SendReq struct {
 	// bsendLen is the attached-buffer space to free when this buffered
 	// send's staging copy is no longer needed.
 	bsendLen int
+	// staged is the pooled staging copy of a buffered send (native
+	// provider); it returns to the engine pool with the bsendLen space.
+	staged []byte
 	// bsendSlot identifies the staging space to the receiver-notification
 	// protocol (LAPI provider, Figure 8).
 	bsendSlot uint32

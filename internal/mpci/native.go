@@ -129,7 +129,9 @@ func (pr *NativeProvider) writerLoop(p *sim.Proc, dst int) {
 		f := pr.outQ[dst].Get(p).(outFrame)
 		full := f.hdr
 		if len(f.body) > 0 {
-			full = append(append(make([]byte, 0, len(f.hdr)+len(f.body)), f.hdr...), f.body...)
+			full = pr.eng.Pool().Get(len(f.hdr) + len(f.body))
+			copy(full, f.hdr)
+			copy(full[len(f.hdr):], f.body)
 		}
 		hdrLen := len(f.hdr)
 		size := len(f.body)
@@ -151,6 +153,14 @@ func (pr *NativeProvider) writerLoop(p *sim.Proc, dst int) {
 			pr.pp.Write(p, dst, full[off:off+n])
 			off += n
 		}
+		// Pipes.Write copies into its retransmission buffer, so the frame's
+		// pooled staging is dead once the stream image is written. When the
+		// frame has no body, full aliases f.hdr and is returned once.
+		if len(f.body) > 0 {
+			pr.eng.Pool().Put(full)
+			pr.eng.Pool().Put(f.body)
+		}
+		pr.eng.Pool().Put(f.hdr)
 		pr.h.KickProgress()
 	}
 }
@@ -206,7 +216,9 @@ func (pr *NativeProvider) frame(kind byte, mode Mode, blocking bool, ctx, tag, s
 	if hlen < nativeHdrMin {
 		hlen = nativeHdrMin
 	}
-	b := make([]byte, hlen)
+	// Frame headers cycle through the engine pool: every header built here is
+	// enqueued exactly once, and the writer returns it after feeding the pipe.
+	b := pr.eng.Pool().Get(hlen)
 	b[0] = kind
 	b[1] = byte(mode)
 	if blocking {
@@ -235,6 +247,7 @@ func (pr *NativeProvider) Isend(p *sim.Proc, dst int, buf []byte, tag, ctx int, 
 	pr.h.ChargeCPU(p, pr.par.SendCallOverhead)
 	if mode == ModeBuffered {
 		buf = pr.stageBsend(p, buf)
+		req.staged = buf
 		req.bsendLen = len(buf)
 	}
 	if dst == pr.rank {
@@ -245,7 +258,7 @@ func (pr *NativeProvider) Isend(p *sim.Proc, dst int, buf []byte, tag, ctx int, 
 	if eager {
 		pr.stats.EagerSends++
 		hdr := pr.frame(fEager, mode, false, ctx, tag, len(buf), 0, 0)
-		pr.enqueueFrame(dst, hdr, append([]byte(nil), buf...))
+		pr.enqueueFrame(dst, hdr, pr.eng.Pool().Snapshot(buf))
 		pr.stats.BytesSent += uint64(len(buf))
 		// Data is in the pipe buffers: the user buffer is reusable, and a
 		// buffered send's staging space can be freed (Pipes now owns the
@@ -280,7 +293,7 @@ func (pr *NativeProvider) useEager(mode Mode, size int) bool {
 func (pr *NativeProvider) sendRdvData(p *sim.Proc, req *SendReq, recvID uint32) {
 	buf := req.rdvBuf
 	hdr := pr.frame(fRdvData, req.Env.Mode, false, req.Env.Ctx, req.Env.Tag, len(buf), recvID, 0)
-	pr.enqueueFrame(req.Dst, hdr, append([]byte(nil), buf...))
+	pr.enqueueFrame(req.Dst, hdr, pr.eng.Pool().Snapshot(buf))
 	pr.stats.BytesSent += uint64(len(buf))
 	req.rdvBuf = nil
 	pr.freeBsend(req)
@@ -294,6 +307,12 @@ func (pr *NativeProvider) freeBsend(req *SendReq) {
 	if req.bsendLen > 0 {
 		pr.bsendUsed -= req.bsendLen
 		req.bsendLen = 0
+		// Every caller has already copied or transmitted the staged bytes,
+		// so the pooled staging copy goes back to the engine pool.
+		if req.staged != nil {
+			pr.eng.Pool().Put(req.staged)
+			req.staged = nil
+		}
 		pr.h.KickProgress()
 	}
 }
@@ -314,7 +333,7 @@ func (pr *NativeProvider) selfSend(p *sim.Proc, req *SendReq, buf []byte) {
 	if env.Mode == ModeReady {
 		panic("mpci: ready-mode send with no matching receive posted (fatal per MPI)")
 	}
-	em := &earlyMsg{env: env, complete: true, data: append([]byte(nil), buf...)}
+	em := &earlyMsg{env: env, complete: true, data: pr.eng.Pool().Snapshot(buf)}
 	if env.Mode == ModeSync {
 		em.onClaim = func(p *sim.Proc) {
 			req.done = true
@@ -370,6 +389,10 @@ func (pr *NativeProvider) claimEarly(p *sim.Proc, req *RecvReq, em *earlyMsg) {
 func (pr *NativeProvider) finishEarly(p *sim.Proc, req *RecvReq, em *earlyMsg) {
 	pr.h.ChargeCPU(p, pr.par.CopyCost(em.env.Size)) // EA buffer -> user buffer
 	copy(req.Buf, em.data)
+	// The pooled early-arrival buffer is dead once drained into the user
+	// buffer (the completion closure below reads only envelope scalars).
+	pr.eng.Pool().Put(em.data)
+	em.data = nil
 	pr.core.releaseEarly(em)
 	if em.onClaim != nil {
 		em.onClaim(p)
@@ -416,7 +439,7 @@ func (pr *NativeProvider) stageBsend(p *sim.Proc, buf []byte) []byte {
 	}
 	pr.bsendUsed += len(buf)
 	pr.h.ChargeCPU(p, pr.par.CopyCost(len(buf)))
-	return append([]byte(nil), buf...)
+	return pr.eng.Pool().Snapshot(buf)
 }
 
 func min(a, b int) int {

@@ -82,9 +82,12 @@ func (fp *frameParser) consume(p *sim.Proc, data []byte) {
 		fp.hdr = append(fp.hdr, data[:n]...)
 		data = data[n:]
 		if len(fp.hdr) == fp.hdrLen() {
-			hdr := append([]byte(nil), fp.hdr...)
+			// frame consumes the header synchronously: even when it blocks,
+			// re-entrant stream bytes queue in pending and never touch
+			// fp.hdr, so the accumulation buffer is reused without a
+			// per-frame copy.
+			fp.frame(p, fp.hdr)
 			fp.hdr = fp.hdr[:0]
-			fp.frame(p, hdr)
 		}
 	}
 }
@@ -112,7 +115,7 @@ func (fp *frameParser) frame(p *sim.Proc, b []byte) {
 				panic("mpci: ready-mode message arrived with no matching receive posted (fatal per MPI)")
 			}
 			pr.stats.Unexpected++
-			em := &earlyMsg{env: fp.env, data: make([]byte, size)}
+			em := &earlyMsg{env: fp.env, data: pr.eng.Pool().Get(size)}
 			pr.core.addEarly(em)
 			fp.dstEarly = em
 		}

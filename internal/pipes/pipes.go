@@ -67,16 +67,16 @@ type sendPipe struct {
 	acked    uint64 // cumulative acked offset
 	unacked  []byte // bytes in [acked, next)
 	ackCond  sim.Cond
-	rtxTimer *sim.Timer
+	rtxTimer sim.Timer
 	rtxArmed bool
 }
 
 type recvPipe struct {
 	src      int
 	expected uint64            // next in-order offset
-	stash    map[uint64][]byte // out-of-order segments by offset
+	stash    map[uint64][]byte // out-of-order segments by offset (pooled)
 	stashed  int               // bytes stashed
-	ackTimer *sim.Timer
+	ackTimer sim.Timer
 	ackOwed  bool
 }
 
@@ -192,7 +192,9 @@ func (pp *Pipes) DrainAcks(p *sim.Proc, dst int) {
 }
 
 func (pp *Pipes) sendData(p *sim.Proc, dst int, off uint64, seg []byte) {
-	buf := make([]byte, dataHdrSize+len(seg))
+	// The packet buffer lives only until the fabric snapshots it inside
+	// h.Send, so it cycles through the engine's pool.
+	buf := pp.eng.Pool().Get(dataHdrSize + len(seg))
 	buf[0] = hal.ProtoPipes
 	buf[1] = typeData
 	binary.BigEndian.PutUint64(buf[2:10], off)
@@ -202,31 +204,27 @@ func (pp *Pipes) sendData(p *sim.Proc, dst int, off uint64, seg []byte) {
 	binary.BigEndian.PutUint64(buf[10:18], rp.expected)
 	if rp.ackOwed {
 		rp.ackOwed = false
-		if rp.ackTimer != nil {
-			rp.ackTimer.Stop()
-			rp.ackTimer = nil
-		}
+		rp.ackTimer.Stop()
 		pp.stats.AcksPiggyback++
 	}
 	copy(buf[dataHdrSize:], seg)
 	pp.stats.DataPackets++
 	pp.stats.BytesSent += uint64(len(seg))
 	pp.h.Send(p, dst, buf)
+	pp.eng.Pool().Put(buf)
 }
 
 func (pp *Pipes) sendAck(p *sim.Proc, src int) {
 	rp := pp.recv[src]
-	if rp.ackTimer != nil {
-		rp.ackTimer.Stop()
-		rp.ackTimer = nil
-	}
+	rp.ackTimer.Stop()
 	rp.ackOwed = false
-	buf := make([]byte, ackSize)
+	buf := pp.eng.Pool().Get(ackSize)
 	buf[0] = hal.ProtoPipes
 	buf[1] = typeAck
 	binary.BigEndian.PutUint64(buf[2:10], rp.expected)
 	pp.stats.AcksSent++
 	pp.h.Send(p, src, buf)
+	pp.eng.Pool().Put(buf)
 }
 
 // scheduleAck arms the delayed-ack timer for src.
@@ -237,7 +235,6 @@ func (pp *Pipes) scheduleAck(src int) {
 	}
 	rp.ackOwed = true
 	rp.ackTimer = pp.eng.After(pp.par.AckDelay, func() {
-		rp.ackTimer = nil
 		if !rp.ackOwed {
 			return
 		}
@@ -357,6 +354,7 @@ func (pp *Pipes) onData(p *sim.Proc, src int, pkt []byte) {
 			rp.stashed -= len(seg)
 			rp.expected += uint64(len(seg))
 			pp.deliverChunk(p, src, seg)
+			pp.eng.Pool().Put(seg) // deliverChunk consumers copy; the stash segment is dead
 		}
 		pp.scheduleAck(src)
 	case off > rp.expected:
@@ -367,7 +365,7 @@ func (pp *Pipes) onData(p *sim.Proc, src int, pkt []byte) {
 			return // dropped; retransmission recovers it
 		}
 		if _, dup := rp.stash[off]; !dup {
-			rp.stash[off] = append([]byte(nil), data...)
+			rp.stash[off] = pp.eng.Pool().Snapshot(data)
 			rp.stashed += len(data)
 		}
 		pp.sendAck(p, src) // immediate ack reveals the gap early
@@ -407,9 +405,7 @@ func (pp *Pipes) applyAck(src int, cum uint64) {
 	// The ack made progress: disarm the retransmission timer and, if data
 	// is still in flight, restart it from now (otherwise a long stream
 	// spuriously retransmits every timeout even though acks are flowing).
-	if sp.rtxTimer != nil {
-		sp.rtxTimer.Stop()
-	}
+	sp.rtxTimer.Stop()
 	sp.rtxArmed = false
 	pp.armRtx(sp)
 	sp.ackCond.Broadcast()

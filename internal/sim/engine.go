@@ -12,12 +12,21 @@
 // this package (Proc.Sleep, Cond.Wait, Resource.Acquire, Queue.Get, ...).
 // Callback events scheduled with Engine.At run in engine context and must not
 // block.
+//
+// The event queue and the scheduling paths are engineered for wall-clock
+// throughput (see DESIGN.md "Kernel performance"): a specialized 4-ary
+// min-heap over *event with no interface boxing, a free list that recycles
+// fired and cancelled events (generation counters keep stale Timer handles
+// harmless), a typed resume-process event kind so Proc.Sleep allocates no
+// closure, and an engine-owned payload buffer pool (BufPool). Event order
+// is a strict total order on (time, sequence), so none of this can change
+// a single virtual timestamp.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // Time is virtual simulation time in nanoseconds.
@@ -47,41 +56,31 @@ func (t Time) String() string {
 // Micros reports t as a float number of microseconds.
 func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 
-// event is a scheduled callback.
+// Event kinds. The generic callback kind calls fn; the resume kind unparks
+// proc directly, so the Sleep/unpark path needs no per-sleep closure.
+const (
+	evCall byte = iota
+	evResume
+)
+
+// event is a scheduled occurrence. Events are owned by the engine and
+// recycled through a free list; gen counts reuses of the slot so a Timer
+// handle from a previous life can never cancel the current occupant.
 type event struct {
 	t    Time
 	seq  uint64 // tie-breaker: FIFO among same-time events
-	fn   func()
-	dead bool // cancelled
-	idx  int  // heap index
+	gen  uint32 // slot reuse count (see Timer)
+	kind byte
+	dead bool   // cancelled; skipped (and recycled) when popped
+	fn   func() // evCall
+	proc *Proc  // evResume
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// eventLess is the queue's strict total order. seq is unique, so two
+// distinct events never compare equal and any correct heap pops them in
+// exactly one order — the bedrock of bit-identical replay.
+func eventLess(a, b *event) bool {
+	return a.t < b.t || (a.t == b.t && a.seq < b.seq)
 }
 
 // Engine is the discrete-event simulation engine. It owns the virtual clock
@@ -89,9 +88,11 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  []*event      // 4-ary min-heap ordered by eventLess
+	free    []*event      // recycled event slots
 	ctl     chan struct{} // token returned to the engine by a yielding proc
 	rng     *rand.Rand
+	pool    BufPool
 	procs   map[*Proc]struct{} // live (spawned, not finished) processes
 	blocked map[*Proc]struct{} // processes parked on a primitive
 	running bool
@@ -121,13 +122,116 @@ func (e *Engine) Now() Time { return e.now }
 // used from simulation context (engine callbacks or processes).
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// Timer is a handle to a scheduled callback, allowing cancellation.
-type Timer struct{ ev *event }
+// Pool returns the engine's payload buffer pool. Like everything else on
+// the engine it must only be used from simulation context.
+func (e *Engine) Pool() *BufPool { return &e.pool }
+
+// push inserts ev into the 4-ary heap (sift up).
+func (e *Engine) push(ev *event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventLess(ev, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
+	e.events = h
+}
+
+// pop removes and returns the minimum event (sift down). The 4-ary layout
+// halves the tree height of a binary heap; the extra child comparisons are
+// cheap relative to the memory traffic they save.
+func (e *Engine) pop() *event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	h = h[:n]
+	e.events = h
+	if n > 0 {
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if eventLess(h[j], h[m]) {
+					m = j
+				}
+			}
+			if !eventLess(h[m], last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return top
+}
+
+// alloc takes an event slot from the free list, or makes a new one.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// release recycles a fired or cancelled event slot. The generation bump
+// invalidates every outstanding Timer handle to the slot.
+func (e *Engine) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.proc = nil
+	ev.dead = false
+	e.free = append(e.free, ev)
+}
+
+// schedule enqueues an event at absolute time t (clamped to now).
+func (e *Engine) schedule(t Time, kind byte, fn func(), p *Proc) *event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := e.alloc()
+	ev.t = t
+	ev.seq = e.seq
+	ev.kind = kind
+	ev.fn = fn
+	ev.proc = p
+	e.seq++
+	e.push(ev)
+	return ev
+}
+
+// Timer is a handle to a scheduled callback, allowing cancellation. Timers
+// are plain values; the zero Timer is valid and Stop on it reports false.
+// The handle pins nothing: once the callback fires, the event slot is
+// recycled, and the generation check makes Stop on the stale handle a
+// guaranteed no-op even if the slot now holds an unrelated event.
+type Timer struct {
+	ev  *event
+	gen uint32
+}
 
 // Stop cancels the timer. It reports whether the callback had not yet fired
 // (and therefore will never fire).
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+func (t Timer) Stop() bool {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.dead {
 		return false
 	}
 	t.ev.dead = true
@@ -136,18 +240,13 @@ func (t *Timer) Stop() bool {
 
 // At schedules fn to run at absolute virtual time t (clamped to now).
 // fn runs in engine context and must not block.
-func (e *Engine) At(t Time, fn func()) *Timer {
-	if t < e.now {
-		t = e.now
-	}
-	ev := &event{t: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+func (e *Engine) At(t Time, fn func()) Timer {
+	ev := e.schedule(t, evCall, fn, nil)
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d nanoseconds from now.
-func (e *Engine) After(d Time, fn func()) *Timer {
+func (e *Engine) After(d Time, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -169,19 +268,31 @@ func (e *Engine) Run(horizon Time) int {
 	e.running = true
 	n := 0
 	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(*event)
+		ev := e.pop()
 		if ev.dead {
+			e.release(ev)
 			continue
 		}
 		if horizon > 0 && ev.t > horizon {
 			// The event is beyond this run's horizon, not consumed: push it
 			// back so a later Run with a larger horizon still sees it.
-			heap.Push(&e.events, ev)
+			e.push(ev)
 			e.now = horizon
 			break
 		}
 		e.now = ev.t
-		ev.fn()
+		// Recycle the slot before dispatch: the callback commonly schedules
+		// follow-up events, which then reuse it immediately. The gen bump in
+		// release is what makes Stop-after-fire report false.
+		kind, fn, p := ev.kind, ev.fn, ev.proc
+		e.release(ev)
+		if kind == evCall {
+			fn()
+		} else if !p.done {
+			delete(e.blocked, p)
+			p.resume <- struct{}{}
+			<-e.ctl
+		}
 		n++
 		if e.procPanic != nil {
 			r := e.procPanic
@@ -196,19 +307,26 @@ func (e *Engine) Run(horizon Time) int {
 }
 
 // killAll resumes every parked process with the killed flag set so its
-// goroutine unwinds (see Proc.yield), then waits for it to exit.
+// goroutine unwinds (see Proc.yield), then waits for it to exit. Kill order
+// is ascending proc id; exit hooks may park further processes, so the scan
+// repeats until the blocked set drains.
 func (e *Engine) killAll() {
+	var order []*Proc
 	for len(e.blocked) > 0 {
-		var p *Proc
+		order = order[:0]
 		for q := range e.blocked {
-			if p == nil || q.id < p.id {
-				p = q
-			}
+			order = append(order, q)
 		}
-		delete(e.blocked, p)
-		p.killed = true
-		p.resume <- struct{}{}
-		<-e.ctl
+		sort.Slice(order, func(i, j int) bool { return order[i].id < order[j].id })
+		for _, p := range order {
+			if _, ok := e.blocked[p]; !ok {
+				continue
+			}
+			delete(e.blocked, p)
+			p.killed = true
+			p.resume <- struct{}{}
+			<-e.ctl
+		}
 	}
 }
 
@@ -300,16 +418,10 @@ func (p *Proc) yield() {
 }
 
 // unpark schedules p to resume at time t. Must be called from sim context.
+// This is a typed event, not a closure, so parking is allocation-free once
+// the engine's free list is warm.
 func (p *Proc) unpark(t Time) {
-	e := p.eng
-	e.At(t, func() {
-		if p.done {
-			return
-		}
-		delete(e.blocked, p)
-		p.resume <- struct{}{}
-		<-e.ctl
-	})
+	p.eng.schedule(t, evResume, nil, p)
 }
 
 // Sleep advances the process's virtual time by d (>= 0).

@@ -1,0 +1,129 @@
+package sim
+
+import "math/bits"
+
+// BufPool is the engine-owned pool of payload buffers. The hot layers
+// (switchnet's injection-boundary snapshot, LAPI reassembly, MPCI framing)
+// copy packet-sized byte slices constantly; without pooling every copy is a
+// garbage-collected allocation that dominates the sweep profiles.
+//
+// The pool is deliberately not sync.Pool:
+//
+//   - Determinism. All simulated code runs single-threaded under the engine
+//     token, so plain LIFO free lists need no locks, and — unlike sync.Pool,
+//     whose reuse pattern depends on GC timing and per-P caches — the
+//     sequence of buffers handed out is a pure function of the simulation's
+//     own event order. Buffer identity can therefore never leak scheduling
+//     noise into results.
+//   - One pool per engine. Sweep cells build independent engines on worker
+//     goroutines; per-engine pools keep them isolated without sharing.
+//
+// Buffers come in power-of-two size classes. Get zeroes the returned slice
+// (same contract as make), Snapshot copies into an unzeroed one. Put
+// recycles only slices whose capacity is exactly a class size, so handing a
+// foreign buffer to Put is harmless: it is simply left to the GC.
+//
+// Ownership discipline (enforced for the injection-boundary packages by
+// simlint's payloadretain analyzer): Put transfers ownership — the caller
+// must own the bytes outright and must not touch the slice afterwards.
+// Returning a slice that something else still retains is the PR 1 aliasing
+// bug in a new costume, and payloadretain flags Put of caller-owned bytes.
+type BufPool struct {
+	free [poolClasses][][]byte
+	// PoolStats are plain counters, readable via Stats.
+	stats PoolStats
+}
+
+// PoolStats counts pool traffic. Hits/Gets is the recycle rate.
+type PoolStats struct {
+	Gets     uint64 // Get/Snapshot calls served (excluding zero-length)
+	Hits     uint64 // ... served from a free list
+	Puts     uint64 // buffers accepted back
+	Foreign  uint64 // Put calls dropped (capacity not a class size)
+	InFlight int64  // Gets minus accepted Puts
+}
+
+const (
+	poolMinBits = 5  // smallest class: 32 B
+	poolMaxBits = 21 // largest class: 2 MiB (covers a 1 MiB message + framing)
+	poolClasses = poolMaxBits - poolMinBits + 1
+)
+
+// classFor returns the size-class index for a buffer of n bytes, or -1 if n
+// exceeds the largest class.
+func classFor(n int) int {
+	if n > 1<<poolMaxBits {
+		return -1
+	}
+	c := bits.Len(uint(n-1)) - poolMinBits
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// Get returns a zeroed slice of length n, recycling a pooled buffer when
+// one is free. Slices longer than the largest class fall back to make.
+func (bp *BufPool) Get(n int) []byte {
+	b, hit := bp.get(n)
+	if hit {
+		clear(b)
+	}
+	return b
+}
+
+// Snapshot returns a pooled copy of b (Get without the redundant zeroing).
+// It is the pool-backed replacement for the append([]byte(nil), b...) idiom;
+// like a fresh copy, the result is owned by the caller.
+func (bp *BufPool) Snapshot(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	s, _ := bp.get(len(b))
+	copy(s, b)
+	return s
+}
+
+// get returns a length-n slice and whether it came from a free list (and so
+// may hold stale bytes).
+func (bp *BufPool) get(n int) ([]byte, bool) {
+	if n == 0 {
+		return nil, false
+	}
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, n), false
+	}
+	bp.stats.Gets++
+	bp.stats.InFlight++
+	fl := bp.free[c]
+	if m := len(fl); m > 0 {
+		b := fl[m-1][:n]
+		fl[m-1] = nil
+		bp.free[c] = fl[:m-1]
+		bp.stats.Hits++
+		return b, true
+	}
+	return make([]byte, n, 1<<(c+poolMinBits)), false
+}
+
+// Put returns a buffer to the pool. Only slices whose capacity is exactly a
+// class size are recycled; anything else (a foreign buffer, an oversized
+// fallback) is silently left to the garbage collector. The caller must own
+// b outright and must not use it again.
+func (bp *BufPool) Put(b []byte) {
+	c := cap(b)
+	if c < 1<<poolMinBits || c > 1<<poolMaxBits || c&(c-1) != 0 {
+		if c > 0 {
+			bp.stats.Foreign++
+		}
+		return
+	}
+	cl := bits.TrailingZeros(uint(c)) - poolMinBits
+	bp.free[cl] = append(bp.free[cl], b[:0])
+	bp.stats.Puts++
+	bp.stats.InFlight--
+}
+
+// Stats returns a snapshot of the pool counters.
+func (bp *BufPool) Stats() PoolStats { return bp.stats }

@@ -1,0 +1,117 @@
+package sim
+
+import "testing"
+
+func TestPoolClassRounding(t *testing.T) {
+	cases := []struct{ n, wantCap int }{
+		{1, 32}, {31, 32}, {32, 32}, {33, 64},
+		{1024, 1024}, {1025, 2048},
+		{1 << 21, 1 << 21},
+	}
+	var bp BufPool
+	for _, c := range cases {
+		b := bp.Get(c.n)
+		if len(b) != c.n || cap(b) != c.wantCap {
+			t.Errorf("Get(%d): len %d cap %d, want len %d cap %d", c.n, len(b), cap(b), c.n, c.wantCap)
+		}
+	}
+}
+
+func TestPoolGetZeroesRecycledBuffer(t *testing.T) {
+	var bp BufPool
+	b := bp.Get(64)
+	for i := range b {
+		b[i] = 0xAA
+	}
+	bp.Put(b)
+	got := bp.Get(48)
+	if len(got) != 48 {
+		t.Fatalf("len = %d, want 48", len(got))
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("recycled Get not zeroed at %d: %#x (make-semantics contract)", i, v)
+		}
+	}
+}
+
+func TestPoolSnapshotCopies(t *testing.T) {
+	var bp BufPool
+	src := []byte{1, 2, 3, 4, 5}
+	s := bp.Snapshot(src)
+	if string(s) != string(src) {
+		t.Fatalf("Snapshot = %v, want %v", s, src)
+	}
+	src[0] = 99
+	if s[0] != 1 {
+		t.Error("Snapshot aliases its source")
+	}
+	if bp.Snapshot(nil) != nil || bp.Snapshot([]byte{}) != nil {
+		t.Error("Snapshot of empty bytes should be nil")
+	}
+}
+
+func TestPoolGetZeroAndOversized(t *testing.T) {
+	var bp BufPool
+	if bp.Get(0) != nil {
+		t.Error("Get(0) should be nil")
+	}
+	big := bp.Get(1<<21 + 1) // beyond the largest class: plain make
+	if len(big) != 1<<21+1 {
+		t.Fatalf("oversized Get len = %d", len(big))
+	}
+	bp.Put(big) // cap not a class size: dropped, counted foreign
+	st := bp.Stats()
+	if st.Gets != 0 || st.Puts != 0 {
+		t.Errorf("oversized traffic counted as pool traffic: %+v", st)
+	}
+	if st.Foreign != 1 {
+		t.Errorf("Foreign = %d, want 1", st.Foreign)
+	}
+}
+
+func TestPoolForeignPutDropped(t *testing.T) {
+	var bp BufPool
+	bp.Put(make([]byte, 10, 48)) // capacity not a power of two
+	bp.Put(nil)                  // cap 0: no-op, not foreign
+	bp.Put(make([]byte, 0, 8))   // below the smallest class
+	st := bp.Stats()
+	if st.Puts != 0 {
+		t.Errorf("foreign buffers accepted: Puts = %d", st.Puts)
+	}
+	if st.Foreign != 2 {
+		t.Errorf("Foreign = %d, want 2 (nil Put is not foreign)", st.Foreign)
+	}
+	b := bp.Get(48)
+	if cap(b) != 64 {
+		t.Errorf("Get after foreign Put handed out a foreign cap %d", cap(b))
+	}
+}
+
+func TestPoolLIFOAndStats(t *testing.T) {
+	var bp BufPool
+	a := bp.Get(100)
+	b := bp.Get(100)
+	bp.Put(a)
+	bp.Put(b)
+	c := bp.Get(100) // LIFO: most recently Put first
+	if &c[0] != &b[0] {
+		t.Error("pool is not LIFO: Get did not return the last Put buffer")
+	}
+	st := bp.Stats()
+	if st.Gets != 3 || st.Hits != 1 || st.Puts != 2 || st.InFlight != 1 {
+		t.Errorf("stats = %+v, want Gets 3 Hits 1 Puts 2 InFlight 1", st)
+	}
+}
+
+func TestEnginePoolIsPerEngine(t *testing.T) {
+	e1, e2 := NewEngine(1), NewEngine(2)
+	b := e1.Pool().Get(64)
+	e1.Pool().Put(b)
+	if e2.Pool().Stats() != (PoolStats{}) {
+		t.Error("engines share pool state")
+	}
+	if got := e1.Pool().Get(64); &got[0] != &b[0] {
+		t.Error("engine pool did not recycle its own buffer")
+	}
+}

@@ -1,0 +1,8 @@
+package sim
+
+// raceEnabled reports whether the race detector is compiled in; the
+// zero-allocation tests skip under it (its instrumentation allocates).
+// The race-tagged init in raceon_test.go flips it — a var+init pair
+// rather than tagged constants, because the simlint loader type-checks
+// every file regardless of build constraints.
+var raceEnabled = false

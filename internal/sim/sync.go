@@ -6,7 +6,7 @@ package sim
 type waiter struct {
 	p     *Proc
 	woken bool
-	timer *Timer // non-nil if a timeout is armed
+	timer Timer // armed iff a timeout was requested; zero Timer Stops as a no-op
 	// timedOut reports (after wakeup) whether the timeout path won.
 	timedOut bool
 }
@@ -18,9 +18,7 @@ func (w *waiter) wake(timedOut bool) {
 	}
 	w.woken = true
 	w.timedOut = timedOut
-	if w.timer != nil {
-		w.timer.Stop()
-	}
+	w.timer.Stop()
 	w.p.unpark(w.p.eng.now)
 }
 

@@ -1,0 +1,105 @@
+package sim
+
+import "testing"
+
+// The Timer handle pins nothing: once its event fires or is cancelled the
+// slot returns to the free list and may be reused by an unrelated event.
+// The generation counter is what keeps a stale handle from cancelling the
+// slot's new occupant; these tests pin down that contract.
+
+func TestTimerStopAfterFireReportsFalse(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.After(10, func() { fired = true })
+	e.Run(0)
+	if !fired {
+		t.Fatal("timer never fired")
+	}
+	if tm.Stop() {
+		t.Error("Stop after fire reported true; the callback already ran")
+	}
+}
+
+func TestTimerDoubleStop(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.After(10, func() { t.Error("stopped timer fired") })
+	if !tm.Stop() {
+		t.Fatal("first Stop reported false on a pending timer")
+	}
+	if tm.Stop() {
+		t.Error("second Stop reported true; the timer was already cancelled")
+	}
+	e.Run(0)
+}
+
+func TestTimerStaleHandleIgnoresRecycledSlot(t *testing.T) {
+	e := NewEngine(1)
+	var tmA, tmB Timer
+	firedB := false
+	tmA = e.At(5, func() {
+		// The slot tmA occupied was released just before this callback ran
+		// (see Run), so the next schedule reuses it with a bumped generation.
+		tmB = e.At(10, func() { firedB = true })
+	})
+	e.Run(7) // fire A; B stays pending beyond the horizon
+	if tmA.ev != tmB.ev {
+		t.Fatalf("test premise broken: B did not reuse A's slot (free-list order changed?)")
+	}
+	if tmA.gen == tmB.gen {
+		t.Fatal("slot reuse did not bump the generation")
+	}
+	if tmA.Stop() {
+		t.Error("stale handle Stop reported true against a recycled slot")
+	}
+	if firedB {
+		t.Fatal("B fired before the horizon")
+	}
+	e.Run(0)
+	if !firedB {
+		t.Error("stale handle Stop cancelled the slot's new occupant")
+	}
+	if tmB.Stop() {
+		t.Error("Stop after fire reported true on the reused slot")
+	}
+}
+
+func TestZeroTimerStopIsFalse(t *testing.T) {
+	var tm Timer
+	if tm.Stop() {
+		t.Error("zero Timer Stop reported true")
+	}
+}
+
+// TestKillAllManyProcs: shutdown with thousands of parked processes must
+// kill every one (in ascending spawn order, so exit effects are
+// deterministic) and leave no live processes behind. This is the
+// regression test for the quadratic rescan killAll used to do per kill.
+func TestKillAllManyProcs(t *testing.T) {
+	const n = 3000
+	e := NewEngine(1)
+	var c Cond
+	var killed []int
+	for i := 0; i < n; i++ {
+		i := i
+		e.Spawn("waiter", func(p *Proc) {
+			p.OnExit(func() { killed = append(killed, i) })
+			c.Wait(p)
+			t.Error("parked process resumed instead of being killed")
+		})
+	}
+	e.Run(0)
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d after Run, want 0", e.LiveProcs())
+	}
+	if e.BlockedProcs() != 0 {
+		t.Fatalf("BlockedProcs = %d after Run, want 0", e.BlockedProcs())
+	}
+	if len(killed) != n {
+		t.Fatalf("%d exit hooks ran, want %d", len(killed), n)
+	}
+	for i, got := range killed {
+		if got != i {
+			t.Fatalf("kill order broke at %d: got proc %d (want ascending spawn order)", i, got)
+		}
+	}
+}

@@ -15,5 +15,6 @@ func TestPayloadretain(t *testing.T) {
 	simlinttest.Run(t, simlint.Payloadretain,
 		"payloadretain/switchnet", // pre-fix fabric.go pattern (must flag)
 		"payloadretain/hal",       // every retention shape + copy idioms
+		"payloadretain/adapter",   // BufPool.Put ownership transfer vs caller-owned bytes
 	)
 }

@@ -1,0 +1,55 @@
+// Fixture: returning bytes to the engine buffer pool. Put transfers
+// ownership to the pool — a later Get may hand the same backing array to
+// unrelated code — so only buffers this function owns (a Get or Snapshot
+// result) may be pooled; caller-owned parameter bytes may not.
+package adapter
+
+import "splapi/internal/sim"
+
+type nic struct {
+	scratch []byte
+}
+
+type frame struct {
+	Payload []byte
+}
+
+// Deliver shows the correct ownership transfer: the snapshot taken at the
+// injection boundary belongs to this code, and returns to the pool once
+// the handler is done with it. Nothing here may be flagged.
+func (n *nic) Deliver(eng *sim.Engine, pkt []byte) {
+	snap := eng.Pool().Snapshot(pkt)
+	n.handle(snap)
+	eng.Pool().Put(snap)
+
+	buf := eng.Pool().Get(len(pkt))
+	copy(buf, pkt)
+	n.handle(buf)
+	eng.Pool().Put(buf)
+}
+
+// DeliverWrong pools bytes the caller still owns: the parameter itself, a
+// sub-slice alias, and a carrier field.
+func (n *nic) DeliverWrong(eng *sim.Engine, pkt []byte, fr *frame) {
+	eng.Pool().Put(pkt) // want `returned to the buffer pool`
+	sub := pkt[2:]
+	eng.Pool().Put(sub)        // want `returned to the buffer pool`
+	eng.Pool().Put(fr.Payload) // want `returned to the buffer pool`
+}
+
+// DeliverSnapshotField: once a carrier field holds a pooled snapshot, the
+// function owns it and may Put it (the snapshot idiom clears the taint).
+func (n *nic) DeliverSnapshotField(eng *sim.Engine, fr *frame) {
+	fr.Payload = eng.Pool().Snapshot(fr.Payload)
+	n.handle(fr.Payload)
+	eng.Pool().Put(fr.Payload)
+}
+
+// DeliverAllowed demonstrates the directive for an intentional transfer
+// (bytes documented as passing ownership with the call).
+func (n *nic) DeliverAllowed(eng *sim.Engine, pkt []byte) {
+	//simlint:allow payloadretain fixture demonstrating the directive
+	eng.Pool().Put(pkt)
+}
+
+func (n *nic) handle([]byte) {}

@@ -56,6 +56,12 @@ func Compare(old, new *Result, tolPct float64) ([]Delta, error) {
 			slack = -slack
 		}
 		lo, hi := op.Stats.CI95Lo-slack, op.Stats.CI95Hi+slack
+		// The CI is centered on the mean, whose floating-point summation
+		// noise can exclude the median itself when every sample is equal
+		// (std ~1e-15); the old median is definitionally an acceptable
+		// value, so widen the interval to include it.
+		lo = min(lo, op.Stats.Median)
+		hi = max(hi, op.Stats.Median)
 		d.OutsideCI = np.Stats.Median < lo || np.Stats.Median > hi
 		if d.OutsideCI {
 			if higherWorse {

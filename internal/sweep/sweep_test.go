@@ -224,6 +224,29 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	}
 }
 
+// TestCompareSelfIsClean: a result compared against itself at tolerance 0
+// must report nothing, even when floating-point noise in the mean-centered
+// CI places the median outside its own interval (all-equal samples give
+// std ~1e-15 and a CI of width ~1e-14 around a mean that differs from the
+// median in the last ulp).
+func TestCompareSelfIsClean(t *testing.T) {
+	r := mkResult("us", map[int]float64{1: 23.009}, 0)
+	// Reproduce the summation noise: CI excludes the median by an ulp.
+	r.Points[0].Stats.Mean = 23.009000000000007
+	r.Points[0].Stats.CI95Lo = 23.009000000000004
+	r.Points[0].Stats.CI95Hi = 23.00900000000001
+	deltas, err := Compare(r, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 1 {
+		t.Fatalf("got %d deltas, want 1", len(deltas))
+	}
+	if deltas[0].OutsideCI || deltas[0].Regression {
+		t.Errorf("self-comparison flagged a movement: %+v", deltas[0])
+	}
+}
+
 // TestRunPropagatesPanics: a panicking cell must surface as an error, not
 // kill the process or hang the pool.
 func TestRunPropagatesPanics(t *testing.T) {

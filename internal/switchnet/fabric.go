@@ -136,8 +136,10 @@ func (f *Fabric) Send(pkt *Packet, ready sim.Time) {
 	// future virtual time, and the sender is free to reuse or rewrite its
 	// buffer meanwhile (the LAPI flow layer re-stamps piggybacked acks into
 	// the same bytes on every retransmission). Without the copy, a packet
-	// still transiting the switch would retroactively change content.
-	pkt.Payload = append([]byte(nil), pkt.Payload...)
+	// still transiting the switch would retroactively change content. The
+	// snapshot comes from the engine's pool; ownership transfers to the
+	// in-flight packet and returns to the pool at the delivery or drop point.
+	pkt.Payload = f.eng.Pool().Snapshot(pkt.Payload)
 	if pkt.Wire < len(pkt.Payload) {
 		pkt.Wire = len(pkt.Payload) + f.par.LinkFrameBytes
 	}
@@ -148,6 +150,7 @@ func (f *Fabric) Send(pkt *Packet, ready sim.Time) {
 
 	if f.par.DropProb > 0 && f.eng.Rand().Float64() < f.par.DropProb {
 		f.stats.Dropped++
+		f.eng.Pool().Put(pkt.Payload)
 		return
 	}
 
@@ -157,7 +160,7 @@ func (f *Fabric) Send(pkt *Packet, ready sim.Time) {
 		f.stats.Duplicated++
 		// The duplicate carries its own copy of the snapshot so the two
 		// deliveries never alias each other's bytes.
-		dup := &Packet{Src: pkt.Src, Dst: pkt.Dst, Payload: append([]byte(nil), pkt.Payload...), Wire: pkt.Wire, seq: pkt.seq}
+		dup := &Packet{Src: pkt.Src, Dst: pkt.Dst, Payload: f.eng.Pool().Snapshot(pkt.Payload), Wire: pkt.Wire, seq: pkt.seq}
 		// The duplicate takes another trip slightly later, as if
 		// retransmitted by a confused link-level retry.
 		f.transit(dup, ready+f.par.SwitchBaseLatency)
