@@ -1,6 +1,6 @@
 # Tier-1 verification, as run by CI (.github/workflows/ci.yml).
 
-.PHONY: verify build vet test lint tidy-check bench bench-smoke determinism-check
+.PHONY: verify build vet test lint tidy-check bench bench-smoke determinism-check trace-smoke
 
 verify: build vet test lint tidy-check
 
@@ -26,13 +26,33 @@ tidy-check:
 bench:
 	go run ./cmd/walltime -rounds 5 -baseline BENCH_walltime_baseline.json -o BENCH_walltime.json
 
-# bench-smoke is the CI bit-rot check: one tiny round, artifact discarded.
+# bench-smoke is the CI bit-rot check (one tiny round, artifact discarded)
+# plus the tracing-off overhead gate: with no log attached the hot paths pay
+# one nil-check branch, and the gated benchmarks must stay within 2% of the
+# committed BENCH_walltime.json on the machine that produced it.
 bench-smoke:
 	go run ./cmd/walltime -smoke -o /tmp/BENCH_walltime_smoke.json
+	go run ./cmd/walltime -rounds 5 -gateref BENCH_walltime.json -gate 2
 
 # determinism-check regenerates the fig10 sweep (16 seeds, same knobs as
 # the committed artifact) and demands point-identity at zero tolerance:
 # performance work on the kernel must never move a virtual-time result.
+# The second pass re-sweeps with an event log attached to every cell:
+# tracing is observational, so traced results must be identical too.
 determinism-check:
 	go run ./cmd/sweep -exp fig10 -seeds 16 -o /tmp/BENCH_fig10_regen.json
 	go run ./cmd/sweep -compare BENCH_fig10.json /tmp/BENCH_fig10_regen.json -tol 0
+	go run ./cmd/sweep -exp fig10 -seeds 16 -trace -o /tmp/BENCH_fig10_traced.json
+	go run ./cmd/sweep -compare BENCH_fig10.json /tmp/BENCH_fig10_traced.json -tol 0
+
+# trace-smoke exercises the tracing triangle in CI: export a trace from the
+# smallest fig10 cell, validate the schema tag, require self-comparison to
+# report identity (exit 0), and require two fault-injected runs on different
+# seeds to diverge (tracediff exit 1 with a first-divergence report).
+trace-smoke:
+	go run ./cmd/spsim -exp fig10 -trace /tmp/trace_clean.json
+	grep -q '"schema":"tracelog/v1"' /tmp/trace_clean.json
+	go run ./cmd/tracediff /tmp/trace_clean.json /tmp/trace_clean.json
+	go run ./cmd/spsim -exp fig10 -trace /tmp/trace_drop1.json -tracedrop 0.02 -traceseed 1
+	go run ./cmd/spsim -exp fig10 -trace /tmp/trace_drop2.json -tracedrop 0.02 -traceseed 2
+	go run ./cmd/tracediff /tmp/trace_drop1.json /tmp/trace_drop2.json; test $$? -eq 1

@@ -18,6 +18,7 @@ import (
 	"splapi/internal/bench"
 	"splapi/internal/cluster"
 	"splapi/internal/nas"
+	"splapi/internal/tracelog"
 )
 
 func stackByName(name string) (cluster.Stack, error) {
@@ -34,8 +35,13 @@ func stackByName(name string) (cluster.Stack, error) {
 func main() {
 	benchName := flag.String("bench", "", "single kernel to run (EP, MG, CG, FT, IS, LU, SP, BT); empty runs the suite")
 	stackName := flag.String("stack", "", "single stack to run on (native, mpi-lapi-base, mpi-lapi-counters, mpi-lapi-enhanced); empty compares native vs enhanced")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event file of the run (requires -bench and -stack)")
 	flag.Parse()
 
+	if *traceOut != "" && (*benchName == "" || *stackName == "") {
+		fmt.Fprintln(os.Stderr, "nasrun: -trace needs a single run; give both -bench and -stack")
+		os.Exit(2)
+	}
 	if *benchName == "" && *stackName == "" {
 		bench.PrintNAS(os.Stdout)
 		return
@@ -59,11 +65,22 @@ func main() {
 		}
 		stacks = []cluster.Stack{s}
 	}
+	var tl *tracelog.Log
+	if *traceOut != "" {
+		tl = tracelog.New(1 << 22)
+	}
 	fmt.Printf("%-6s %-22s %14s %10s\n", "bench", "stack", "time(ms)", "verified")
 	for _, k := range kernels {
 		for _, s := range stacks {
-			res := bench.RunNASKernel(k, s)
+			res := bench.RunNASKernelTraced(k, s, tl)
 			fmt.Printf("%-6s %-22s %14.2f %10v\n", k.Name, s, float64(res.Time)/1e6, res.Verified)
 		}
+	}
+	if tl != nil {
+		if err := tracelog.WriteChromeFile(*traceOut, tl); err != nil {
+			fmt.Fprintln(os.Stderr, "nasrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d events, %d dropped)\n", *traceOut, tl.Len(), tl.Dropped())
 	}
 }

@@ -16,6 +16,7 @@ import (
 
 	"splapi/internal/bench"
 	"splapi/internal/cluster"
+	"splapi/internal/tracelog"
 )
 
 func main() {
@@ -24,6 +25,7 @@ func main() {
 	interrupts := flag.Bool("interrupts", false, "interrupt-mode receiver (Figure 13 methodology)")
 	bw := flag.Bool("bw", false, "measure streaming bandwidth instead of latency")
 	count := flag.Int("count", 48, "messages per bandwidth measurement")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event file of the run (requires -stack and -size)")
 	flag.Parse()
 
 	stacks := []cluster.Stack{cluster.Native, cluster.LAPIEnhanced}
@@ -44,6 +46,14 @@ func main() {
 	if *size >= 0 {
 		sizes = []int{*size}
 	}
+	var tl *tracelog.Log
+	if *traceOut != "" {
+		if len(stacks) != 1 || len(sizes) != 1 {
+			fmt.Fprintln(os.Stderr, "pingpong: -trace needs a single cell; give both -stack and -size")
+			os.Exit(2)
+		}
+		tl = tracelog.New(1 << 20)
+	}
 	unit := "us one-way"
 	if *bw {
 		unit = "MB/s"
@@ -59,14 +69,21 @@ func main() {
 			var v float64
 			switch {
 			case st == cluster.RawLAPI:
-				v = bench.RawLAPIPingPong(sz)
+				v = bench.RawLAPIPingPongTraced(sz, tl)
 			case *bw:
-				v = bench.MPIBandwidth(st, sz, *count)
+				v = bench.MPIBandwidthTraced(st, sz, *count, tl)
 			default:
-				v = bench.MPIPingPong(st, sz, *interrupts)
+				v = bench.MPIPingPongTraced(st, sz, *interrupts, tl)
 			}
 			fmt.Printf("  %22.2f", v)
 		}
 		fmt.Println()
+	}
+	if tl != nil {
+		if err := tracelog.WriteChromeFile(*traceOut, tl); err != nil {
+			fmt.Fprintln(os.Stderr, "pingpong:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d events, %d dropped)\n", *traceOut, tl.Len(), tl.Dropped())
 	}
 }

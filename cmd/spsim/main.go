@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	spsim -exp fig10|fig11|fig12|fig13|nas|table2|ablate-ctxswitch|ablate-copies|ablate-eager|generations|stats|all
-//	spsim -exp fig10 -json    # also write BENCH_fig10.json via the sweep harness
+//	spsim -exp fig10|fig11|fig12|fig13|nas|table2|ablate-ctxswitch|ablate-copies|ablate-eager|generations|breakdown|stats|all
+//	spsim -exp fig10 -json            # also write BENCH_fig10.json via the sweep harness
+//	spsim -exp fig10 -trace out.json  # run the experiment's first cell traced, export Chrome trace JSON
 //
 // For multi-seed parallel sweeps with dispersion statistics, use cmd/sweep.
 package main
@@ -15,15 +16,20 @@ import (
 	"os"
 
 	"splapi/internal/bench"
+	"splapi/internal/machine"
 	"splapi/internal/prof"
 	"splapi/internal/sweep"
+	"splapi/internal/tracelog"
 )
 
 func main() { os.Exit(run()) }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment to run (fig10, fig11, fig12, fig13, nas, table2, ablate-ctxswitch, ablate-copies, ablate-eager, generations, stats, all)")
+	exp := flag.String("exp", "all", "experiment to run (fig10, fig11, fig12, fig13, nas, table2, ablate-ctxswitch, ablate-copies, ablate-eager, generations, breakdown, stats, all)")
 	jsonOut := flag.Bool("json", false, "additionally write BENCH_<exp>.json for registry experiments (single seed; use cmd/sweep for multi-seed)")
+	traceOut := flag.String("trace", "", "run the named registry experiment's first cell with event tracing and write a Chrome trace-event file (load in Perfetto)")
+	traceSeed := flag.Int64("traceseed", 1, "seed for the -trace run")
+	traceDrop := flag.Float64("tracedrop", 0, "fabric drop probability for the -trace run (a clean fabric consumes no randomness, so only faulted runs diverge across seeds)")
 	pf := prof.Flags()
 	flag.Parse()
 	stop, err := pf.Start()
@@ -85,14 +91,41 @@ func run() int {
 		bench.PrintNodeGenerations(os.Stdout)
 		fmt.Println()
 	}
+	if run("breakdown") {
+		any = true
+		bench.PrintBreakdowns(os.Stdout)
+		fmt.Println()
+	}
 	if run("stats") {
 		any = true
-		bench.PrintStats(os.Stdout)
+		if err := bench.PrintStats(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "spsim: stats:", err)
+			return 1
+		}
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "spsim: unknown experiment %q\n", *exp)
 		flag.Usage()
 		return 2
+	}
+	if *traceOut != "" {
+		e, err := bench.FindExperiment(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spsim: -trace needs a registry experiment:", err)
+			return 2
+		}
+		c := e.Cells[0]
+		tl := tracelog.New(1 << 20)
+		var mod bench.ParamMod
+		if *traceDrop > 0 {
+			mod = func(p *machine.Params) { p.DropProb = *traceDrop }
+		}
+		c.Run(*traceSeed, mod, tl)
+		if err := tracelog.WriteChromeFile(*traceOut, tl); err != nil {
+			fmt.Fprintln(os.Stderr, "spsim:", err)
+			return 1
+		}
+		fmt.Printf("wrote %s (%s/%d, %d events, %d dropped)\n", *traceOut, c.Series, c.X, tl.Len(), tl.Dropped())
 	}
 	if *jsonOut {
 		for _, e := range bench.Experiments() {

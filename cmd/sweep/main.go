@@ -47,6 +47,7 @@ func run() int {
 		dup      = flag.Float64("dup", 0, "fabric duplicate probability override (matrix-level)")
 		list     = flag.Bool("list", false, "list available experiments and exit")
 		compare  = flag.Bool("compare", false, "compare two result files: sweep -compare old.json new.json")
+		traced   = flag.Bool("trace", false, "attach (and discard) an event log to every cell run; results must be identical to an untraced sweep")
 		tol      = flag.Float64("tol", 0, "comparison tolerance in percent of the old median")
 		verbose  = flag.Bool("v", false, "verbose comparison output (include within-CI points)")
 	)
@@ -125,6 +126,7 @@ func run() int {
 		opts := sweep.Options{
 			Seeds: *seeds, Par: *par, BaseSeed: *baseSeed,
 			DropProb: *drop, DupProb: *dup, GitDescribe: git,
+			Trace: *traced,
 		}
 		res, err := sweep.Run(e, opts)
 		if err != nil {

@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"runtime"
@@ -136,7 +137,7 @@ func runFig10Cell(iters int) {
 		panic("walltime: fig10 cell MPI-LAPI Enhanced/65536 not found")
 	}
 	for i := 0; i < iters; i++ {
-		cell.Run(1, nil)
+		cell.Run(1, nil, nil)
 	}
 }
 
@@ -151,6 +152,19 @@ func measure(b benchmark, iters int) (float64, float64) {
 	runtime.ReadMemStats(&m1)
 	n := float64(iters)
 	return float64(elapsed.Nanoseconds()) / n, float64(m1.Mallocs-m0.Mallocs) / n
+}
+
+// best returns a Result's fastest round — the noise-robust statistic the
+// overhead gate compares (one descheduling event inflates a median; nothing
+// makes a CPU-bound round run faster than the code allows).
+func best(r Result) float64 {
+	b := r.NsPerOp
+	for _, n := range r.Rounds {
+		if n < b {
+			b = n
+		}
+	}
+	return b
 }
 
 func median(xs []float64) float64 {
@@ -173,10 +187,14 @@ func gitDescribe() string {
 
 func main() {
 	var (
-		rounds   = flag.Int("rounds", 5, "rounds per benchmark (median is reported)")
-		out      = flag.String("o", "", "output artifact path (default: print only)")
-		baseline = flag.String("baseline", "", "embed this prior artifact and print speedups")
-		smoke    = flag.Bool("smoke", false, "1 round, tiny iteration counts (bit-rot check only)")
+		rounds     = flag.Int("rounds", 5, "rounds per benchmark (median is reported)")
+		out        = flag.String("o", "", "output artifact path (default: print only)")
+		baseline   = flag.String("baseline", "", "embed this prior artifact and print speedups")
+		smoke      = flag.Bool("smoke", false, "1 round, tiny iteration counts (bit-rot check only)")
+		gateRef    = flag.String("gateref", "", "reference artifact for the overhead gate")
+		gatePct    = flag.Float64("gate", 0, "fail (exit 1) when a gated benchmark is more than this percent slower than -gateref (best round vs best round: the minimum is the noise-robust statistic for a CPU-bound benchmark on a shared host)")
+		gateList   = flag.String("gatebench", "kernel/events,mpi/pingpong-1KiB", "comma-separated benchmark names the gate checks")
+		gateCanary = flag.String("gatecanary", "kernel/timer-stop", "benchmark used to normalize out uniform host-speed drift between the reference run and this one (\"\" disables)")
 	)
 	flag.Parse()
 
@@ -246,6 +264,91 @@ func main() {
 			}
 			fmt.Printf("%-26s %6.2fx faster   allocs/op %10.1f -> %-10.1f (-%.1f%%)\n",
 				r.Name, b.NsPerOp/r.NsPerOp, b.AllocsPerOp, r.AllocsPerOp, allocCut)
+		}
+	}
+
+	if *gatePct > 0 {
+		if *gateRef == "" {
+			fmt.Fprintln(os.Stderr, "walltime: -gate needs -gateref")
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(*gateRef)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "walltime:", err)
+			os.Exit(2)
+		}
+		var ref Artifact
+		if err := json.Unmarshal(data, &ref); err != nil {
+			fmt.Fprintln(os.Stderr, "walltime:", err)
+			os.Exit(2)
+		}
+		refByName := make(map[string]Result)
+		for _, r := range ref.Benchmarks {
+			refByName[r.Name] = r
+		}
+		curByName := make(map[string]Result)
+		for _, r := range art.Benchmarks {
+			curByName[r.Name] = r
+		}
+		benchByName := make(map[string]benchmark)
+		for _, b := range benchmarks() {
+			benchByName[b.name] = b
+		}
+		// The committed reference was measured at some other time; a shared
+		// host runs measurably slower for minutes at a stretch, which would
+		// read as a regression in every benchmark at once. The canary is a
+		// benchmark the gated code paths don't touch: its best-round ratio
+		// estimates the host-speed shift, and gated comparisons are scaled
+		// by it so only *relative* slowdowns — real code overhead — remain.
+		scale := 1.0
+		if *gateCanary != "" {
+			if r, ok := refByName[*gateCanary]; ok {
+				if c, ok2 := curByName[*gateCanary]; ok2 && best(r) > 0 {
+					scale = best(c) / best(r)
+				}
+			}
+		}
+		failed := false
+		fmt.Printf("\noverhead gate (+%g%%, best round vs %s, host scale %.3f via %s):\n",
+			*gatePct, ref.Git, scale, *gateCanary)
+		for _, name := range strings.Split(*gateList, ",") {
+			name = strings.TrimSpace(name)
+			r, ok := refByName[name]
+			c, ok2 := curByName[name]
+			if !ok || !ok2 || r.NsPerOp == 0 {
+				fmt.Fprintf(os.Stderr, "walltime: gate: benchmark %q missing from run or reference\n", name)
+				failed = true
+				continue
+			}
+			rBest, cBest := best(r), best(c)
+			pct := 100 * (cBest/(rBest*scale) - 1)
+			// A host-noise burst can outlast a whole run and inflate even
+			// the best round; re-measure a failing benchmark (bounded)
+			// before believing the regression.
+			for attempt := 1; pct > *gatePct && attempt <= 2; attempt++ {
+				bm, ok := benchByName[name]
+				if !ok {
+					break
+				}
+				nb := math.Inf(1)
+				for round := 0; round < *rounds; round++ {
+					n, _ := measure(bm, c.Iters)
+					nb = math.Min(nb, n)
+				}
+				fmt.Printf("  %-26s retry %d: best %.1f ns/op\n", name, attempt, nb)
+				cBest = math.Min(cBest, nb)
+				pct = 100 * (cBest/(rBest*scale) - 1)
+			}
+			verdict := "ok"
+			if pct > *gatePct {
+				verdict = "FAIL"
+				failed = true
+			}
+			fmt.Printf("  %-26s %12.1f -> %-12.1f ns/op  %+6.2f%%  %s\n", name, rBest, cBest, pct, verdict)
+		}
+		if failed {
+			fmt.Fprintln(os.Stderr, "walltime: overhead gate failed")
+			os.Exit(1)
 		}
 	}
 

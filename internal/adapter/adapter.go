@@ -17,6 +17,7 @@ import (
 	"splapi/internal/machine"
 	"splapi/internal/sim"
 	"splapi/internal/switchnet"
+	"splapi/internal/tracelog"
 )
 
 // Stats are cumulative adapter counters.
@@ -48,6 +49,7 @@ type Adapter struct {
 	intrPrimed  bool // no interrupt has fired yet (ignore coalesce window)
 
 	stats Stats
+	tr    *tracelog.Log
 }
 
 // New creates the adapter for node and attaches it to the fabric's port.
@@ -62,6 +64,9 @@ func (a *Adapter) Node() int { return a.node }
 
 // Stats returns a copy of the cumulative counters.
 func (a *Adapter) Stats() Stats { return a.stats }
+
+// SetTrace attaches an event log (nil disables tracing).
+func (a *Adapter) SetTrace(tl *tracelog.Log) { a.tr = tl }
 
 // Send injects pkt toward its destination. It must be called in simulation
 // context; it does not block (backpressure is the HAL send-buffer pool's
@@ -89,6 +94,7 @@ func (a *Adapter) Send(pkt *switchnet.Packet) sim.Time {
 	a.egressFree = injDone
 
 	a.stats.Sent++
+	a.tr.Emit(now, tracelog.LAdapter, tracelog.KTxDMA, a.node, pkt.Dst, 0, pkt.Wire, int64(dmaDone-dmaStart))
 	a.fab.Send(pkt, injStart)
 	return dmaDone
 }
@@ -103,10 +109,12 @@ func (a *Adapter) fromFabric(pkt *switchnet.Packet) {
 	}
 	done := start + a.par.RecvDMASetup + a.par.DMATime(pkt.Wire)
 	a.recvDMAFree = done
+	a.tr.Emit(now, tracelog.LAdapter, tracelog.KRxDMA, a.node, pkt.Src, tracelog.PacketID(pkt.Seq()), pkt.Wire, int64(done-start))
 
 	a.eng.At(done, func() {
 		if len(a.fifo) >= a.par.RecvFIFOPackets {
 			a.stats.FIFODrops++
+			a.tr.Emit(a.eng.Now(), tracelog.LAdapter, tracelog.KFIFODrop, a.node, pkt.Src, tracelog.PacketID(pkt.Seq()), pkt.Wire, 0)
 			// The packet dies here; its pooled snapshot goes back to the
 			// engine (the delivery-path counterpart is HAL dispatch).
 			//simlint:allow payloadretain ownership transfer: a dropped packet's pooled payload returns to the engine pool
@@ -134,6 +142,7 @@ func (a *Adapter) maybeInterrupt() {
 	a.intrPrimed = false
 	a.lastIntr = now
 	a.stats.Interrupts++
+	a.tr.Emit(now, tracelog.LAdapter, tracelog.KIntr, a.node, -1, 0, 0, 0)
 	a.intrCB()
 }
 

@@ -20,6 +20,7 @@ import (
 	"splapi/internal/mpci"
 	"splapi/internal/mpi"
 	"splapi/internal/sim"
+	"splapi/internal/tracelog"
 )
 
 // Point is one measurement of a sweep.
@@ -65,9 +66,16 @@ const PingPongRoundTrips = pingIters + 2
 // buffer without calling MPI until the message lands (the Section 6.1
 // interrupt-mode methodology).
 func MPIPingPong(stack cluster.Stack, size int, interrupts bool) float64 {
+	return MPIPingPongTraced(stack, size, interrupts, nil)
+}
+
+// MPIPingPongTraced is MPIPingPong with an event log attached to the
+// cluster (nil tl means untraced; the timing result is identical either
+// way).
+func MPIPingPongTraced(stack cluster.Stack, size int, interrupts bool, tl *tracelog.Log) float64 {
 	par := paperParams()
 	c := cluster.New(cluster.Config{
-		Nodes: 2, Stack: stack, Seed: 1, Params: &par, Interrupts: interrupts,
+		Nodes: 2, Stack: stack, Seed: 1, Params: &par, Interrupts: interrupts, Trace: tl,
 	})
 	return runPingPong(c, size, interrupts)
 }
@@ -124,8 +132,13 @@ func runPingPong(c *cluster.Cluster, size int, interrupts bool) float64 {
 // RawLAPIPingPong measures one-way latency of a LAPI_Put ping-pong with
 // LAPI_Waitcntr, as in Section 5.1.
 func RawLAPIPingPong(size int) float64 {
+	return RawLAPIPingPongTraced(size, nil)
+}
+
+// RawLAPIPingPongTraced is RawLAPIPingPong with an event log attached.
+func RawLAPIPingPongTraced(size int, tl *tracelog.Log) float64 {
 	par := paperParams()
-	c := cluster.New(cluster.Config{Nodes: 2, Stack: cluster.RawLAPI, Seed: 1, Params: &par})
+	c := cluster.New(cluster.Config{Nodes: 2, Stack: cluster.RawLAPI, Seed: 1, Params: &par, Trace: tl})
 	return runRawLAPIPingPong(c, size)
 }
 
@@ -174,8 +187,13 @@ func runRawLAPIPingPong(c *cluster.Cluster, size int) float64 {
 // back to back and stops the clock when the receiver's acknowledgement of
 // the last message returns.
 func MPIBandwidth(stack cluster.Stack, size, count int) float64 {
+	return MPIBandwidthTraced(stack, size, count, nil)
+}
+
+// MPIBandwidthTraced is MPIBandwidth with an event log attached.
+func MPIBandwidthTraced(stack cluster.Stack, size, count int, tl *tracelog.Log) float64 {
 	par := paperParams()
-	c := cluster.New(cluster.Config{Nodes: 2, Stack: stack, Seed: 1, Params: &par})
+	c := cluster.New(cluster.Config{Nodes: 2, Stack: stack, Seed: 1, Params: &par, Trace: tl})
 	return runBandwidth(c, size, count)
 }
 

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"splapi/internal/cluster"
+	"splapi/internal/tracelog"
+)
+
+// PingPongBreakdown runs one traced ping-pong cell (paper parameters,
+// seed 1) and decomposes the CPU/wire time per round trip into the
+// tracelog breakdown categories: memory copies, dispatch/matching work,
+// context switches, wire time, and adapter DMA. The trace covers warmup
+// and barrier rounds too, so the sums are divided by the total round-trip
+// count rather than the timed iterations.
+func PingPongBreakdown(stack cluster.Stack, size int, interrupts bool) [tracelog.NumCategories]int64 {
+	par := paperParams()
+	tl := tracelog.New(1 << 20)
+	c := cluster.New(cluster.Config{Nodes: 2, Stack: stack, Seed: 1, Params: &par, Interrupts: interrupts, Trace: tl})
+	runPingPong(c, size, interrupts)
+	sums := tracelog.Breakdown(tl.Events())
+	for i := range sums {
+		sums[i] /= PingPongRoundTrips
+	}
+	return sums
+}
+
+// PrintBreakdown prints the per-round-trip critical-path decomposition of
+// the ping-pong benchmark for every MPI stack, at the given message size,
+// in microseconds per category. This is the quantitative form of the
+// paper's Section 5 narrative: where the Base design pays context
+// switches, where the native stack pays extra copies, and what the
+// Enhanced design removes.
+func PrintBreakdown(w io.Writer, size int, interrupts bool) {
+	mode := "polling"
+	if interrupts {
+		mode = "interrupt"
+	}
+	fmt.Fprintf(w, "Ping-pong critical path per round trip (%d B, %s mode, us):\n", size, mode)
+	fmt.Fprintf(w, "%-22s", "stack")
+	for cat := tracelog.Category(0); cat < tracelog.NumCategories; cat++ {
+		fmt.Fprintf(w, " %12s", cat)
+	}
+	fmt.Fprintf(w, " %12s\n", "sum")
+	for _, s := range []struct {
+		label string
+		stack cluster.Stack
+	}{
+		{"Native MPI", cluster.Native},
+		{"MPI-LAPI Base", cluster.LAPIBase},
+		{"MPI-LAPI Counters", cluster.LAPICounters},
+		{"MPI-LAPI Enhanced", cluster.LAPIEnhanced},
+	} {
+		sums := PingPongBreakdown(s.stack, size, interrupts)
+		fmt.Fprintf(w, "%-22s", s.label)
+		var total int64
+		for _, ns := range sums {
+			total += ns
+			fmt.Fprintf(w, " %12.2f", float64(ns)/1000)
+		}
+		fmt.Fprintf(w, " %12.2f\n", float64(total)/1000)
+	}
+}
+
+// PrintBreakdowns prints the decomposition at a small and a large message
+// size (the spsim -exp breakdown report).
+func PrintBreakdowns(w io.Writer) {
+	PrintBreakdown(w, 64, false)
+	fmt.Fprintln(w)
+	PrintBreakdown(w, 16384, false)
+}

@@ -7,6 +7,7 @@ import (
 	"splapi/internal/machine"
 	"splapi/internal/sim"
 	"splapi/internal/trace"
+	"splapi/internal/tracelog"
 )
 
 // This file turns the figure drivers into data: every experiment is a list
@@ -43,8 +44,10 @@ type Cell struct {
 	// X is the sweep coordinate: message size in bytes for the figures,
 	// the ablated quantity for ablations.
 	X int
-	// Run executes the cell in a fresh simulated universe.
-	Run func(seed int64, mod ParamMod) Measurement
+	// Run executes the cell in a fresh simulated universe. tl, when
+	// non-nil, attaches an event log to the cell's cluster; pass nil for
+	// untraced runs (the common case).
+	Run func(seed int64, mod ParamMod, tl *tracelog.Log) Measurement
 }
 
 // Experiment is a named set of cells with presentation metadata.
@@ -57,7 +60,7 @@ type Experiment struct {
 
 // mpiPingPongCell builds a latency cell (one-way microseconds).
 func mpiPingPongCell(series string, stack cluster.Stack, size int, interrupts bool, overrides ParamMod) Cell {
-	return Cell{Series: series, X: size, Run: func(seed int64, mod ParamMod) Measurement {
+	return Cell{Series: series, X: size, Run: func(seed int64, mod ParamMod, tl *tracelog.Log) Measurement {
 		par := paperParams()
 		if overrides != nil {
 			overrides(&par)
@@ -65,7 +68,7 @@ func mpiPingPongCell(series string, stack cluster.Stack, size int, interrupts bo
 		if mod != nil {
 			mod(&par)
 		}
-		c := cluster.New(cluster.Config{Nodes: 2, Stack: stack, Seed: seed, Params: &par, Interrupts: interrupts})
+		c := cluster.New(cluster.Config{Nodes: 2, Stack: stack, Seed: seed, Params: &par, Interrupts: interrupts, Trace: tl})
 		v := runPingPong(c, size, interrupts)
 		return Measurement{Value: v, VirtualTime: c.Eng.Now(), Trace: trace.Collect(c)}
 	}}
@@ -73,12 +76,12 @@ func mpiPingPongCell(series string, stack cluster.Stack, size int, interrupts bo
 
 // rawLAPIPingPongCell builds a latency cell on the bare LAPI stack.
 func rawLAPIPingPongCell(series string, size int) Cell {
-	return Cell{Series: series, X: size, Run: func(seed int64, mod ParamMod) Measurement {
+	return Cell{Series: series, X: size, Run: func(seed int64, mod ParamMod, tl *tracelog.Log) Measurement {
 		par := paperParams()
 		if mod != nil {
 			mod(&par)
 		}
-		c := cluster.New(cluster.Config{Nodes: 2, Stack: cluster.RawLAPI, Seed: seed, Params: &par})
+		c := cluster.New(cluster.Config{Nodes: 2, Stack: cluster.RawLAPI, Seed: seed, Params: &par, Trace: tl})
 		v := runRawLAPIPingPong(c, size)
 		return Measurement{Value: v, VirtualTime: c.Eng.Now(), Trace: trace.Collect(c)}
 	}}
@@ -86,7 +89,7 @@ func rawLAPIPingPongCell(series string, size int) Cell {
 
 // bandwidthCell builds a streaming-bandwidth cell (MB/s).
 func bandwidthCell(series string, stack cluster.Stack, size, count int, overrides ParamMod) Cell {
-	return Cell{Series: series, X: size, Run: func(seed int64, mod ParamMod) Measurement {
+	return Cell{Series: series, X: size, Run: func(seed int64, mod ParamMod, tl *tracelog.Log) Measurement {
 		par := paperParams()
 		if overrides != nil {
 			overrides(&par)
@@ -94,7 +97,7 @@ func bandwidthCell(series string, stack cluster.Stack, size, count int, override
 		if mod != nil {
 			mod(&par)
 		}
-		c := cluster.New(cluster.Config{Nodes: 2, Stack: stack, Seed: seed, Params: &par})
+		c := cluster.New(cluster.Config{Nodes: 2, Stack: stack, Seed: seed, Params: &par, Trace: tl})
 		v := runBandwidth(c, size, count)
 		return Measurement{Value: v, VirtualTime: c.Eng.Now(), Trace: trace.Collect(c)}
 	}}
@@ -268,7 +271,7 @@ func SeriesOf(e Experiment, seed int64, mod ParamMod) []Series {
 			idx[c.Series] = i
 			out = append(out, Series{Label: c.Series})
 		}
-		m := c.Run(seed, mod)
+		m := c.Run(seed, mod, nil)
 		out[i].Points = append(out[i].Points, Point{Size: c.X, Value: m.Value})
 	}
 	return out

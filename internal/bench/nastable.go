@@ -10,6 +10,7 @@ import (
 	"splapi/internal/mpi"
 	"splapi/internal/nas"
 	"splapi/internal/sim"
+	"splapi/internal/tracelog"
 )
 
 // NASFlopNs is the virtual cost of one floating-point operation on the
@@ -29,8 +30,15 @@ type NASResult struct {
 // job start to the last rank finishing, and whether the distributed
 // checksum matches the serial reference.
 func RunNASKernel(k nas.Kernel, stack cluster.Stack) NASResult {
+	return RunNASKernelTraced(k, stack, nil)
+}
+
+// RunNASKernelTraced is RunNASKernel with an event log attached to the
+// cluster (nil tl means untraced). Tracing an LU run makes the wavefront
+// communication pattern visible as flow arrows in Perfetto.
+func RunNASKernelTraced(k nas.Kernel, stack cluster.Stack, tl *tracelog.Log) NASResult {
 	par := paperParams()
-	c := cluster.New(cluster.Config{Nodes: 4, Stack: stack, Seed: 1, Params: &par})
+	c := cluster.New(cluster.Config{Nodes: 4, Stack: stack, Seed: 1, Params: &par, Trace: tl})
 	var end sim.Time
 	var sum float64
 	ok := true

@@ -67,8 +67,12 @@ func Summarize(values []float64) Summary {
 
 // PrintStats runs a mixed-size ring workload on every stack and prints the
 // layered trace report for each — the observability view of where each
-// protocol spends its packets, copies, and handler invocations.
-func PrintStats(w io.Writer) {
+// protocol spends its packets, copies, buffer-pool traffic, and handler
+// invocations. A cross-layer conservation violation in any report is
+// returned as an error (after all reports print) so callers can fail the
+// run.
+func PrintStats(w io.Writer) error {
+	var firstErr error
 	for _, stack := range []cluster.Stack{
 		cluster.Native, cluster.LAPIBase, cluster.LAPICounters, cluster.LAPIEnhanced,
 	} {
@@ -88,7 +92,11 @@ func PrintStats(w io.Writer) {
 		r.Print(w)
 		if err := r.Consistent(); err != nil {
 			fmt.Fprintf(w, "  CONSISTENCY VIOLATION: %v\n", err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("stack %s: %w", stack, err)
+			}
 		}
 		fmt.Fprintln(w)
 	}
+	return firstErr
 }

@@ -15,6 +15,7 @@ import (
 	"splapi/internal/pipes"
 	"splapi/internal/sim"
 	"splapi/internal/switchnet"
+	"splapi/internal/tracelog"
 )
 
 // Stack selects the protocol stack of Figure 1 (plus the Section 5 MPI-LAPI
@@ -76,6 +77,11 @@ type Config struct {
 	Params *machine.Params
 	// Interrupts arms packet-arrival interrupts on every node.
 	Interrupts bool
+	// Trace, when non-nil, receives a typed event at every layer boundary
+	// of every node. Tracing is purely observational: it schedules no
+	// events and consumes no randomness, so virtual-time results are
+	// identical with it on or off.
+	Trace *tracelog.Log
 }
 
 // Cluster is a built system.
@@ -110,21 +116,29 @@ func New(cfg Config) *Cluster {
 		Fabric:  switchnet.New(eng, par, cfg.Nodes),
 		Barrier: sim.NewBarrier(cfg.Nodes),
 	}
+	c.Fabric.SetTrace(cfg.Trace)
 	for i := 0; i < cfg.Nodes; i++ {
 		ad := adapter.New(eng, par, c.Fabric, i)
+		ad.SetTrace(cfg.Trace)
 		h := hal.New(eng, par, ad)
+		// The HAL carries the log for the whole node: stacked layers fetch
+		// it in their constructors, so it must be attached before them.
+		h.SetTrace(cfg.Trace)
 		c.Adapters = append(c.Adapters, ad)
 		c.HALs = append(c.HALs, h)
 		switch cfg.Stack {
 		case Native:
 			pp := pipes.New(eng, par, h, cfg.Nodes)
+			pp.SetTrace(cfg.Trace)
 			c.Pipes = append(c.Pipes, pp)
 			c.Provs = append(c.Provs, mpci.NewNative(eng, par, h, pp, cfg.Nodes, c.Barrier))
 		case RawLAPI:
 			l := lapi.New(eng, par, h, cfg.Nodes, lapi.Inline)
+			l.SetTrace(cfg.Trace)
 			c.LAPIs = append(c.LAPIs, l)
 		default:
 			l := lapi.New(eng, par, h, cfg.Nodes, cfg.Stack.Design().LAPIVariant())
+			l.SetTrace(cfg.Trace)
 			c.LAPIs = append(c.LAPIs, l)
 			c.Provs = append(c.Provs, mpci.NewLAPI(eng, par, l, cfg.Nodes, c.Barrier, cfg.Stack.Design()))
 		}

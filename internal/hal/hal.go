@@ -26,6 +26,7 @@ import (
 	"splapi/internal/machine"
 	"splapi/internal/sim"
 	"splapi/internal/switchnet"
+	"splapi/internal/tracelog"
 )
 
 // Protocol identifiers (first byte of every packet payload).
@@ -75,6 +76,7 @@ type HAL struct {
 	onIntrEnd   []func(p *sim.Proc)
 
 	stats Stats
+	tr    *tracelog.Log
 }
 
 // New creates the HAL for a node and spawns its interrupt dispatcher
@@ -103,6 +105,13 @@ func (h *HAL) Node() int { return h.node }
 
 // Stats returns a copy of the cumulative counters.
 func (h *HAL) Stats() Stats { return h.stats }
+
+// SetTrace attaches an event log (nil disables tracing).
+func (h *HAL) SetTrace(tl *tracelog.Log) { h.tr = tl }
+
+// Trace returns the attached event log (nil when tracing is off). Protocol
+// layers stacked on this HAL emit through it.
+func (h *HAL) Trace() *tracelog.Log { return h.tr }
 
 // RegisterProto installs the handler for a protocol id.
 func (h *HAL) RegisterProto(id byte, fn Handler) {
@@ -145,6 +154,7 @@ func (h *HAL) Send(p *sim.Proc, dst int, payload []byte) {
 	}
 	h.sendBufs.Acquire(p)
 	h.ChargeCPU(p, h.par.PacketDispatch)
+	h.tr.Emit(p.Now(), tracelog.LHAL, tracelog.KHALSend, h.node, dst, 0, len(payload), int64(h.par.PacketDispatch))
 	// The caller keeps ownership of payload: adapter.Send synchronously
 	// hands the packet to fabric.Send, which snapshots the bytes at the
 	// injection boundary (PR 1) before this call returns.
@@ -193,6 +203,7 @@ func (h *HAL) Poll(p *sim.Proc) int {
 func (h *HAL) dispatch(p *sim.Proc, src int, payload []byte) {
 	h.stats.PacketsRecvd++
 	h.ChargeCPU(p, h.par.PacketDispatch)
+	h.tr.Emit(p.Now(), tracelog.LHAL, tracelog.KHALDispatch, h.node, src, 0, len(payload), int64(h.par.PacketDispatch))
 	fn := h.protos[payload[0]]
 	if fn == nil {
 		panic(fmt.Sprintf("hal: node %d: no handler for protocol %d", h.node, payload[0]))
@@ -234,6 +245,7 @@ func (h *HAL) interruptLoop(p *sim.Proc) {
 		h.intrPending = false
 		p.Sleep(h.par.InterruptLatency)
 		h.stats.IntrBursts++
+		h.tr.Emit(p.Now(), tracelog.LHAL, tracelog.KIntrBurst, h.node, -1, 0, 0, int64(h.par.InterruptLatency))
 		h.inInterrupt = true
 		for {
 			h.Poll(p)

@@ -5,6 +5,7 @@ import (
 
 	"splapi/internal/hal"
 	"splapi/internal/sim"
+	"splapi/internal/tracelog"
 )
 
 // flow is LAPI's reliable transport to one peer. Unlike the Pipes layer it
@@ -69,6 +70,7 @@ func (f *flow) windowPkts() int {
 func (f *flow) send(p *sim.Proc, kind byte, body []byte) {
 	for len(f.unacked) >= f.windowPkts() {
 		f.l.stats.WindowStalls++
+		f.l.tr.Emit(p.Now(), tracelog.LLAPI, tracelog.KFlowStall, f.l.node, f.peer, 0, len(f.unacked), int64(f.nextSeq))
 		f.l.h.ProgressWait(p, func() bool { return len(f.unacked) < f.windowPkts() })
 	}
 	// The framed packet comes from the engine pool; the flow owns it while it
@@ -82,6 +84,7 @@ func (f *flow) send(p *sim.Proc, kind byte, body []byte) {
 	f.stampAck(buf)
 	copy(buf[flowHdrSize:], body)
 	f.unacked = append(f.unacked, flowPkt{seq: seq, payload: buf})
+	f.l.tr.Emit(p.Now(), tracelog.LLAPI, tracelog.KFlowSend, f.l.node, f.peer, 0, len(body), int64(seq))
 	f.l.h.Send(p, f.peer, buf)
 	f.armRtx()
 }
@@ -119,6 +122,7 @@ func (f *flow) retransmit(p *sim.Proc) {
 		return
 	}
 	f.l.stats.Retransmits++
+	f.l.tr.Emit(p.Now(), tracelog.LLAPI, tracelog.KFlowRtx, f.l.node, f.peer, 0, len(f.unacked), int64(f.cumAcked))
 	for _, pk := range f.unacked {
 		f.stampAck(pk.payload)
 		f.l.h.Send(p, f.peer, pk.payload)
@@ -156,6 +160,7 @@ func (f *flow) onAck(cum uint64) {
 func (f *flow) accept(p *sim.Proc, seq uint64) bool {
 	if seq < f.expected || f.processed[seq] {
 		f.l.stats.DupsDropped++
+		f.l.tr.Emit(p.Now(), tracelog.LLAPI, tracelog.KFlowDup, f.l.node, f.peer, 0, 0, int64(seq))
 		f.sendAck(p) // re-ack so the sender stops resending
 		return false
 	}
@@ -184,6 +189,7 @@ func (f *flow) sendAck(p *sim.Proc) {
 	buf[1] = kAck
 	binary.BigEndian.PutUint64(buf[10:18], f.expected)
 	f.l.stats.AcksSent++
+	f.l.tr.Emit(p.Now(), tracelog.LLAPI, tracelog.KFlowAck, f.l.node, f.peer, 0, 0, int64(f.expected))
 	f.l.h.Send(p, f.peer, buf)
 	// Standalone acks are never retransmitted: the fabric snapshotted the
 	// bytes inside h.Send, so the framing buffer is already dead.

@@ -28,6 +28,7 @@ import (
 	"splapi/internal/hal"
 	"splapi/internal/machine"
 	"splapi/internal/sim"
+	"splapi/internal/tracelog"
 )
 
 // Variant selects the completion-handler regime.
@@ -143,6 +144,7 @@ type LAPI struct {
 	inHdr map[*sim.Proc]int
 
 	stats Stats
+	tr    *tracelog.Log
 }
 
 type msgKey struct {
@@ -220,6 +222,9 @@ func (l *LAPI) Variant() Variant { return l.variant }
 // Stats returns a copy of the cumulative counters.
 func (l *LAPI) Stats() Stats { return l.stats }
 
+// SetTrace attaches an event log (nil disables tracing).
+func (l *LAPI) SetTrace(tl *tracelog.Log) { l.tr = tl }
+
 // HAL returns the underlying packet layer (for progress-driving waits).
 func (l *LAPI) HAL() *hal.HAL { return l.h }
 
@@ -292,6 +297,7 @@ func (l *LAPI) sendMsg(p *sim.Proc, tgt int, op byte, hdrID int, uhdr, data []by
 	f := l.flows[tgt]
 	id := l.nextMsgID
 	l.nextMsgID++
+	l.tr.Emit(p.Now(), tracelog.LLAPI, tracelog.KAmsend, l.node, tgt, tracelog.LAPIMsgID(l.node, id), len(data), int64(op))
 
 	if len(uhdr) > l.par.PacketPayload-flowHdrSize-msgHdrFixed {
 		panic("lapi: user header too large for the header packet")
@@ -317,6 +323,9 @@ func (l *LAPI) sendMsg(p *sim.Proc, tgt int, op byte, hdrID int, uhdr, data []by
 	copy(hdr[msgHdrFixed:], uhdr)
 	copy(hdr[hdrLen:], data[:first])
 	l.h.ChargeCPU(p, l.par.CopyCost(first))
+	if first > 0 {
+		l.tr.Emit(p.Now(), tracelog.LLAPI, tracelog.KCopy, l.node, tgt, tracelog.LAPIMsgID(l.node, id), first, int64(l.par.CopyCost(first)))
+	}
 	f.send(p, kHdr, hdr)
 	l.eng.Pool().Put(hdr)
 	l.stats.MsgsSent++
@@ -336,6 +345,7 @@ func (l *LAPI) sendMsg(p *sim.Proc, tgt int, op byte, hdrID int, uhdr, data []by
 		binary.BigEndian.PutUint32(body[8:12], uint32(off))
 		copy(body[msgDataFixed:], data[off:off+chunk])
 		l.h.ChargeCPU(p, l.par.CopyCost(chunk))
+		l.tr.Emit(p.Now(), tracelog.LLAPI, tracelog.KCopy, l.node, tgt, tracelog.LAPIMsgID(l.node, id), chunk, int64(l.par.CopyCost(chunk)))
 		f.send(p, kData, body)
 		l.eng.Pool().Put(body)
 		l.stats.DataPackets++
@@ -373,6 +383,7 @@ func (l *LAPI) loopback(p *sim.Proc, op byte, hdrID int, uhdr, data []byte, tgtC
 	}
 	if m.buf != nil {
 		l.h.ChargeCPU(p, l.par.CopyCost(len(data)))
+		l.tr.Emit(p.Now(), tracelog.LLAPI, tracelog.KCopy, l.node, l.node, tracelog.LAPIMsgID(m.key.src, m.key.id), len(data), int64(l.par.CopyCost(len(data))))
 		copy(m.buf, data)
 	}
 	m.recvd = len(data)
@@ -393,6 +404,7 @@ func (l *LAPI) loopback(p *sim.Proc, op byte, hdrID int, uhdr, data []byte, tgtC
 func (l *LAPI) Amsend(p *sim.Proc, tgt, hdrID int, uhdr, data []byte, tgtCntr int, org *Counter, cmplCntr int) {
 	l.guardComm(p, "Amsend")
 	l.h.ChargeCPU(p, l.par.ParamCheckCost+l.par.SendCallOverhead)
+	l.tr.Emit(p.Now(), tracelog.LLAPI, tracelog.KOverhead, l.node, tgt, 0, len(data), int64(l.par.ParamCheckCost+l.par.SendCallOverhead))
 	l.sendMsg(p, tgt, opAmsend, hdrID, uhdr, data, cntrID(tgtCntr), cntrID(cmplCntr), org)
 }
 
@@ -401,6 +413,7 @@ func (l *LAPI) Amsend(p *sim.Proc, tgt, hdrID int, uhdr, data []byte, tgtCntr in
 func (l *LAPI) Put(p *sim.Proc, tgt, bufID, off int, data []byte, tgtCntr int, org *Counter, cmplCntr int) {
 	l.guardComm(p, "Put")
 	l.h.ChargeCPU(p, l.par.ParamCheckCost+l.par.SendCallOverhead)
+	l.tr.Emit(p.Now(), tracelog.LLAPI, tracelog.KOverhead, l.node, tgt, 0, len(data), int64(l.par.ParamCheckCost+l.par.SendCallOverhead))
 	uhdr := l.eng.Pool().Get(6)
 	binary.BigEndian.PutUint16(uhdr[0:2], uint16(bufID))
 	binary.BigEndian.PutUint32(uhdr[2:6], uint32(off))

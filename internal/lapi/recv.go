@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"splapi/internal/sim"
+	"splapi/internal/tracelog"
 )
 
 // onPacket is the HAL protocol handler: flow bookkeeping, then message
@@ -45,6 +46,7 @@ func (l *LAPI) onMsgHdr(p *sim.Proc, src int, body []byte) {
 	first := body[msgHdrFixed+uhdrLen:]
 
 	key := msgKey{src: src, id: id}
+	l.tr.Emit(p.Now(), tracelog.LLAPI, tracelog.KMsgHdr, l.node, src, tracelog.LAPIMsgID(src, id), dataLen, int64(op))
 	m := l.pending[key]
 	if m == nil {
 		m = &recvMsg{key: key}
@@ -102,6 +104,7 @@ func (l *LAPI) onMsgData(p *sim.Proc, src int, body []byte) {
 		m = &recvMsg{key: key}
 		l.pending[key] = m
 	}
+	l.tr.Emit(p.Now(), tracelog.LLAPI, tracelog.KMsgData, l.node, src, tracelog.LAPIMsgID(src, id), len(data), int64(off))
 	if !m.gotHdr {
 		// The switch's routes delivered a data packet before the header
 		// packet: stash it until the header handler has supplied a buffer.
@@ -120,6 +123,7 @@ func (l *LAPI) store(p *sim.Proc, m *recvMsg, off int, data []byte) {
 		return
 	}
 	l.h.ChargeCPU(p, l.par.CopyCost(len(data)))
+	l.tr.Emit(p.Now(), tracelog.LLAPI, tracelog.KCopy, l.node, m.key.src, tracelog.LAPIMsgID(m.key.src, m.key.id), len(data), int64(l.par.CopyCost(len(data))))
 	if m.buf != nil {
 		copy(m.buf[off:], data)
 	}
@@ -141,6 +145,7 @@ func (l *LAPI) runHdrHandler(p *sim.Proc, src, hdrID int, uhdr []byte, dataLen i
 	}
 	l.stats.HdrHandlers++
 	l.h.ChargeCPU(p, l.par.HeaderHandlerCost)
+	l.tr.Emit(p.Now(), tracelog.LLAPI, tracelog.KHdrHandler, l.node, src, 0, dataLen, int64(l.par.HeaderHandlerCost))
 	l.inHdr[p]++
 	defer func() {
 		l.inHdr[p]--
@@ -156,6 +161,7 @@ func (l *LAPI) runHdrHandler(p *sim.Proc, src, hdrID int, uhdr []byte, dataLen i
 // and notify the origin's completion counter if requested.
 func (l *LAPI) finishMsg(p *sim.Proc, m *recvMsg) {
 	l.stats.MsgsCompleted++
+	l.tr.Emit(p.Now(), tracelog.LLAPI, tracelog.KMsgDone, l.node, m.key.src, tracelog.LAPIMsgID(m.key.src, m.key.id), m.dataLen, int64(m.op))
 	switch m.op {
 	case opAmsend, opPut:
 		l.completeWithHandler(p, m)
@@ -214,8 +220,12 @@ func (l *LAPI) completeWithHandler(p *sim.Proc, m *recvMsg) {
 	case Threaded:
 		l.stats.CmplThreaded++
 		cmpl, arg := m.cmpl, m.arg
+		mid := tracelog.LAPIMsgID(m.key.src, m.key.id)
+		src := m.key.src
+		l.tr.Emit(p.Now(), tracelog.LLAPI, tracelog.KCmplQueued, l.node, src, mid, m.dataLen, 0)
 		l.cmplQueue.Put(p, func(cp *sim.Proc) {
 			l.h.ChargeCPU(cp, l.par.ThreadContextSwitch)
+			l.tr.Emit(cp.Now(), tracelog.LLAPI, tracelog.KCtxSwitch, l.node, src, mid, 0, int64(l.par.ThreadContextSwitch))
 			cmpl(cp, arg)
 			after(cp)
 			l.h.KickProgress()
@@ -223,6 +233,7 @@ func (l *LAPI) completeWithHandler(p *sim.Proc, m *recvMsg) {
 	case Inline:
 		l.stats.CmplInline++
 		l.h.ChargeCPU(p, l.par.InlineHandlerOverhead)
+		l.tr.Emit(p.Now(), tracelog.LLAPI, tracelog.KCmplInline, l.node, m.key.src, tracelog.LAPIMsgID(m.key.src, m.key.id), 0, int64(l.par.InlineHandlerOverhead))
 		m.cmpl(p, m.arg)
 		after(p)
 	}
@@ -234,6 +245,7 @@ func (l *LAPI) bumpCounter(p *sim.Proc, id int) {
 	}
 	l.stats.CounterUpdates++
 	l.h.ChargeCPU(p, l.par.CounterUpdateCost)
+	l.tr.Emit(p.Now(), tracelog.LLAPI, tracelog.KCounter, l.node, -1, 0, 0, int64(l.par.CounterUpdateCost))
 	l.counters[id].add(1)
 }
 

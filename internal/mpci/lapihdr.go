@@ -5,16 +5,18 @@ import (
 
 	"splapi/internal/lapi"
 	"splapi/internal/sim"
+	"splapi/internal/tracelog"
 )
 
 // inflightEager tracks an eager message awaiting its counter bump
 // (Counters design): exactly one of req (matched in order) or em
 // (early/out-of-order) is set.
 type inflightEager struct {
-	req  *RecvReq
-	em   *earlyMsg
-	env  Envelope
-	slot uint32
+	req     *RecvReq
+	em      *earlyMsg
+	env     Envelope
+	slot    uint32
+	traceID uint64
 }
 
 // headerHandler is the single LAPI header handler for every MPCI message
@@ -45,39 +47,42 @@ func (pr *LAPIProvider) headerHandler(p *sim.Proc, src int, uhdr []byte, dataLen
 // hdrEager implements Figure 3(b): match, return the user buffer on a hit
 // (no extra copy!), or an early-arrival buffer on a miss.
 func (pr *LAPIProvider) hdrEager(p *sim.Proc, src int, env Envelope, seq uint32, slot uint32, dataLen int) ([]byte, lapi.CmplHandler, any) {
+	mid := tracelog.EnvID(src, pr.rank, seq)
 	if seq != pr.envSeqIn[src] {
 		// A later envelope overtook an earlier one on the switch: assemble
 		// into an early-arrival buffer and defer the matching decision
 		// until the envelopes before it have been processed (MPI ordering).
 		pr.stats.EnvOOO++
-		em := &earlyMsg{env: env, data: pr.eng.Pool().Get(dataLen), bsendSlot: slot}
+		em := &earlyMsg{env: env, data: pr.eng.Pool().Get(dataLen), bsendSlot: slot, traceID: mid}
 		pr.envOOO[src][seq] = em
 		return em.data, pr.eagerCmplFor(src, em), em
 	}
 	pr.envSeqIn[src]++
-	buf, ch, arg := pr.matchEagerInOrder(p, src, env, slot, dataLen)
+	buf, ch, arg := pr.matchEagerInOrder(p, src, env, slot, dataLen, mid)
 	pr.drainOOO(p, src)
 	return buf, ch, arg
 }
 
 // matchEagerInOrder is the in-order fast path.
-func (pr *LAPIProvider) matchEagerInOrder(p *sim.Proc, src int, env Envelope, slot uint32, dataLen int) ([]byte, lapi.CmplHandler, any) {
+func (pr *LAPIProvider) matchEagerInOrder(p *sim.Proc, src int, env Envelope, slot uint32, dataLen int, mid uint64) ([]byte, lapi.CmplHandler, any) {
 	pr.l.HAL().ChargeCPU(p, pr.par.MatchCost)
 	if req := pr.core.matchArrival(env); req != nil {
 		pr.stats.Matched++
+		pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KMatch, pr.rank, src, mid, env.Size, int64(pr.par.MatchCost))
 		if pr.countersEligible(env.Size) {
-			pr.inflight[src] = append(pr.inflight[src], &inflightEager{req: req, env: env, slot: slot})
+			pr.inflight[src] = append(pr.inflight[src], &inflightEager{req: req, env: env, slot: slot, traceID: mid})
 			return req.Buf, nil, nil
 		}
 		return req.Buf, func(cp *sim.Proc, _ any) {
-			pr.finishRecv(cp, req, env, slot)
+			pr.finishRecv(cp, req, env, slot, mid)
 		}, nil
 	}
 	if env.Mode == ModeReady {
 		panic("mpci: ready-mode message arrived with no matching receive posted (fatal per MPI)")
 	}
 	pr.stats.Unexpected++
-	em := &earlyMsg{env: env, data: pr.eng.Pool().Get(dataLen), bsendSlot: slot}
+	pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KUnexpected, pr.rank, src, mid, env.Size, int64(env.Tag))
+	em := &earlyMsg{env: env, data: pr.eng.Pool().Get(dataLen), bsendSlot: slot, traceID: mid}
 	pr.core.addEarly(em)
 	return em.data, pr.eagerCmplFor(src, em), em
 }
@@ -87,7 +92,7 @@ func (pr *LAPIProvider) matchEagerInOrder(p *sim.Proc, src int, env Envelope, sl
 // Enhanced designs, or nil plus an inflight entry in the Counters design.
 func (pr *LAPIProvider) eagerCmplFor(src int, em *earlyMsg) lapi.CmplHandler {
 	if pr.countersEligible(em.env.Size) {
-		pr.inflight[src] = append(pr.inflight[src], &inflightEager{em: em, env: em.env, slot: em.bsendSlot})
+		pr.inflight[src] = append(pr.inflight[src], &inflightEager{em: em, env: em.env, slot: em.bsendSlot, traceID: em.traceID})
 		return nil
 	}
 	return func(cp *sim.Proc, _ any) { pr.eagerEmComplete(cp, em) }
@@ -106,7 +111,7 @@ func (pr *LAPIProvider) eagerEmComplete(p *sim.Proc, em *earlyMsg) {
 // reapCounters in MPI-call context).
 func (pr *LAPIProvider) eagerArrivedAll(p *sim.Proc, e *inflightEager) {
 	if e.req != nil {
-		pr.finishRecv(p, e.req, e.env, e.slot)
+		pr.finishRecv(p, e.req, e.env, e.slot, e.traceID)
 		return
 	}
 	pr.eagerEmComplete(p, e.em)
@@ -116,7 +121,7 @@ func (pr *LAPIProvider) eagerArrivedAll(p *sim.Proc, e *inflightEager) {
 // the completion-handler path (header handlers cannot call LAPI); on a miss
 // the request parks in the early-arrival queue.
 func (pr *LAPIProvider) hdrRTS(p *sim.Proc, src int, env Envelope, seq, sendReq, slot uint32, blocking bool) {
-	em := &earlyMsg{env: env, isRTS: true, rtsSendReq: sendReq, rtsBlocking: blocking, bsendSlot: slot}
+	em := &earlyMsg{env: env, isRTS: true, rtsSendReq: sendReq, rtsBlocking: blocking, bsendSlot: slot, traceID: tracelog.EnvID(src, pr.rank, seq)}
 	if seq != pr.envSeqIn[src] {
 		pr.stats.EnvOOO++
 		pr.envOOO[src][seq] = em
@@ -131,6 +136,7 @@ func (pr *LAPIProvider) processRTSInOrder(p *sim.Proc, em *earlyMsg) {
 	pr.l.HAL().ChargeCPU(p, pr.par.MatchCost)
 	if req := pr.core.matchArrival(em.env); req != nil {
 		pr.stats.Matched++
+		pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KMatch, pr.rank, em.env.Src, em.traceID, em.env.Size, int64(pr.par.MatchCost))
 		id := uint32(len(pr.recvReqs))
 		pr.recvReqs = append(pr.recvReqs, req)
 		req.pendingEnv = em.env
@@ -143,6 +149,7 @@ func (pr *LAPIProvider) processRTSInOrder(p *sim.Proc, em *earlyMsg) {
 		return
 	}
 	pr.stats.Unexpected++
+	pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KUnexpected, pr.rank, em.env.Src, em.traceID, em.env.Size, int64(em.env.Tag))
 	pr.core.addEarly(em)
 }
 
@@ -152,11 +159,13 @@ func (pr *LAPIProvider) processRTSInOrder(p *sim.Proc, em *earlyMsg) {
 func (pr *LAPIProvider) deferViaCompletion(p *sim.Proc, fn func(p *sim.Proc)) {
 	if pr.design == DesignEnhanced {
 		pr.l.HAL().ChargeCPU(p, pr.par.InlineHandlerOverhead)
+		pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KCmplInline, pr.rank, -1, 0, 0, int64(pr.par.InlineHandlerOverhead))
 		pr.deferSend(fn)
 		return
 	}
 	pr.deferSend(func(cp *sim.Proc) {
 		pr.l.HAL().ChargeCPU(cp, pr.par.ThreadContextSwitch)
+		pr.tr.Emit(cp.Now(), tracelog.LMPCI, tracelog.KCtxSwitch, pr.rank, -1, 0, 0, int64(pr.par.ThreadContextSwitch))
 		fn(cp)
 	})
 }
@@ -179,6 +188,7 @@ func (pr *LAPIProvider) drainOOO(p *sim.Proc, src int) {
 		pr.l.HAL().ChargeCPU(p, pr.par.MatchCost)
 		if req := pr.core.matchArrival(em.env); req != nil {
 			pr.stats.Matched++
+			pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KMatch, pr.rank, em.env.Src, em.traceID, em.env.Size, int64(pr.par.MatchCost))
 			em.claimedBy = req
 			if em.complete {
 				pr.finishEarly(p, req, em)
@@ -191,6 +201,7 @@ func (pr *LAPIProvider) drainOOO(p *sim.Proc, src int) {
 			panic("mpci: ready-mode message arrived with no matching receive posted (fatal per MPI)")
 		}
 		pr.stats.Unexpected++
+		pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KUnexpected, pr.rank, em.env.Src, em.traceID, em.env.Size, int64(em.env.Tag))
 		pr.core.addEarly(em)
 	}
 }
@@ -218,7 +229,8 @@ func (pr *LAPIProvider) hdrRdvData(p *sim.Proc, env Envelope, recvID, slot uint3
 	env.Src = req.pendingEnv.Src
 	env.Tag = req.pendingEnv.Tag
 	env.Ctx = req.pendingEnv.Ctx
+	mid := tracelog.RdvID(env.Src, pr.rank, recvID)
 	return req.Buf, func(cp *sim.Proc, _ any) {
-		pr.finishRecv(cp, req, env, slot)
+		pr.finishRecv(cp, req, env, slot, mid)
 	}, nil
 }

@@ -7,6 +7,7 @@ import (
 	"splapi/internal/lapi"
 	"splapi/internal/machine"
 	"splapi/internal/sim"
+	"splapi/internal/tracelog"
 )
 
 // Design selects which MPI-LAPI implementation of Section 5 to run.
@@ -100,6 +101,7 @@ type LAPIProvider struct {
 	nextSlot   uint32
 
 	stats ProviderStats
+	tr    *tracelog.Log
 }
 
 // NewLAPI builds the MPI-LAPI MPCI for one task. The LAPI endpoint must
@@ -124,6 +126,7 @@ func NewLAPI(eng *sim.Engine, par *machine.Params, l *lapi.LAPI, size int, bar *
 		nextSlot:   1,
 	}
 	pr.core.eaCap = par.EarlyArrivalBytes
+	pr.tr = l.HAL().Trace()
 	for i := range pr.envOOO {
 		pr.envOOO[i] = make(map[uint32]*earlyMsg)
 	}
@@ -154,6 +157,9 @@ func (pr *LAPIProvider) Design() Design { return pr.design }
 // Stats returns a copy of the cumulative counters.
 func (pr *LAPIProvider) Stats() ProviderStats { return pr.stats }
 
+// Trace implements Provider.
+func (pr *LAPIProvider) Trace() *tracelog.Log { return pr.tr }
+
 // Barrier synchronizes all tasks in the job.
 func (pr *LAPIProvider) Barrier(p *sim.Proc) { pr.bar.Await(p) }
 
@@ -182,6 +188,7 @@ func (pr *LAPIProvider) reapCounters(p *sim.Proc) {
 			em := pr.inflight[src][0]
 			pr.inflight[src] = pr.inflight[src][1:]
 			pr.l.HAL().ChargeCPU(p, pr.par.InlineHandlerOverhead) // counter poll + bookkeeping
+			pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KCmplInline, pr.rank, src, em.traceID, em.env.Size, int64(pr.par.InlineHandlerOverhead))
 			pr.eagerArrivedAll(p, em)
 		}
 	}
@@ -287,6 +294,7 @@ func (pr *LAPIProvider) isend(p *sim.Proc, dst int, buf []byte, tag, ctx int, mo
 		pr.stats.EagerSends++
 		seq := pr.envSeqOut[dst]
 		pr.envSeqOut[dst]++
+		pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KSendEager, pr.rank, dst, tracelog.EnvID(pr.rank, dst, seq), len(buf), int64(tag))
 		uhdr := pr.buildUhdr(uEager, mode, blocking, seq, ctx, tag, len(buf), 0, slot)
 		tgtCntr := -1
 		if pr.countersEligible(len(buf)) {
@@ -311,6 +319,7 @@ func (pr *LAPIProvider) isend(p *sim.Proc, dst int, buf []byte, tag, ctx int, mo
 	req.rdvBuf = buf
 	seq := pr.envSeqOut[dst]
 	pr.envSeqOut[dst]++
+	pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KSendRdv, pr.rank, dst, tracelog.EnvID(pr.rank, dst, seq), len(buf), int64(tag))
 	uhdr := pr.buildUhdr(uRTS, mode, blocking, seq, ctx, tag, len(buf), id, slot)
 	pr.l.Amsend(p, dst, pr.hid, uhdr, nil, -1, nil, -1)
 	pr.eng.Pool().Put(uhdr)
@@ -327,6 +336,7 @@ func (pr *LAPIProvider) isend(p *sim.Proc, dst int, buf []byte, tag, ctx int, mo
 func (pr *LAPIProvider) sendRdvData(p *sim.Proc, req *SendReq) {
 	buf := req.rdvBuf
 	req.rdvBuf = nil
+	pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KRdvData, pr.rank, req.Dst, tracelog.RdvID(pr.rank, req.Dst, req.recvID), len(buf), int64(req.recvID))
 	uhdr := pr.buildUhdr(uRdvData, req.Env.Mode, false, 0, req.Env.Ctx, req.Env.Tag, len(buf), req.recvID, req.bsendSlot)
 	pr.l.Amsend(p, req.Dst, pr.hid, uhdr, buf, -1, nil, -1)
 	pr.eng.Pool().Put(uhdr)
@@ -367,6 +377,7 @@ func (pr *LAPIProvider) claimEarly(p *sim.Proc, req *RecvReq, em *earlyMsg) {
 		return
 	}
 	em.claimedBy = req
+	pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KEarlyClaim, pr.rank, em.env.Src, em.traceID, em.env.Size, int64(em.env.Tag))
 	if em.complete {
 		pr.finishEarly(p, req, em)
 		return
@@ -378,6 +389,7 @@ func (pr *LAPIProvider) claimEarly(p *sim.Proc, req *RecvReq, em *earlyMsg) {
 // completes the receive.
 func (pr *LAPIProvider) finishEarly(p *sim.Proc, req *RecvReq, em *earlyMsg) {
 	pr.l.HAL().ChargeCPU(p, pr.par.CopyCost(em.env.Size))
+	pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KCopy, pr.rank, em.env.Src, em.traceID, em.env.Size, int64(pr.par.CopyCost(em.env.Size)))
 	copy(req.Buf, em.data)
 	// The pooled early-arrival buffer is dead once drained into the user
 	// buffer.
@@ -387,13 +399,14 @@ func (pr *LAPIProvider) finishEarly(p *sim.Proc, req *RecvReq, em *earlyMsg) {
 	if em.onClaim != nil {
 		em.onClaim(p)
 	}
-	pr.finishRecv(p, req, em.env, em.bsendSlot)
+	pr.finishRecv(p, req, em.env, em.bsendSlot, em.traceID)
 }
 
 // finishRecv completes a receive and, for a buffered-mode message, notifies
 // the sender so it can free its staging space (Figure 8).
-func (pr *LAPIProvider) finishRecv(p *sim.Proc, req *RecvReq, env Envelope, slot uint32) {
+func (pr *LAPIProvider) finishRecv(p *sim.Proc, req *RecvReq, env Envelope, slot uint32, mid uint64) {
 	pr.stats.BytesRecved += uint64(env.Size)
+	pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KRecvDone, pr.rank, env.Src, mid, env.Size, int64(env.Tag))
 	req.complete(env.Src, env.Tag, env.Size)
 	if slot != 0 {
 		pr.deferSend(func(p *sim.Proc) {
@@ -408,6 +421,7 @@ func (pr *LAPIProvider) finishRecv(p *sim.Proc, req *RecvReq, env Envelope, slot
 // sendRTSAck acknowledges a request-to-send. Must not run in header-handler
 // context.
 func (pr *LAPIProvider) sendRTSAck(p *sim.Proc, dst int, sendReq, recvID uint32, blocking bool) {
+	pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KRTSAck, pr.rank, dst, tracelog.RdvID(dst, pr.rank, recvID), 0, int64(sendReq))
 	uhdr := pr.buildUhdr(uRTSAck, 0, blocking, 0, 0, 0, 0, sendReq, recvID)
 	pr.l.Amsend(p, dst, pr.hid, uhdr, nil, -1, nil, -1)
 	pr.eng.Pool().Put(uhdr)
@@ -469,6 +483,7 @@ func (pr *LAPIProvider) freeBsendSlot(slot uint32) {
 func (pr *LAPIProvider) selfSend(p *sim.Proc, req *SendReq, buf []byte) {
 	pr.stats.SelfSends++
 	env := req.Env
+	pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KSelfSend, pr.rank, pr.rank, 0, len(buf), int64(env.Tag))
 	if req.bsendSlot != 0 {
 		// The staging copy is ours; free it as soon as the data is placed.
 		defer pr.freeBsendSlot(req.bsendSlot)

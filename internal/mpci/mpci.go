@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"splapi/internal/sim"
+	"splapi/internal/tracelog"
 )
 
 // Wildcards for matching.
@@ -150,6 +151,9 @@ type Provider interface {
 	// Barrier performs a job-wide synchronization (used by the harness
 	// between program phases; MPI_Barrier itself is built from sends).
 	Barrier(p *sim.Proc)
+	// Trace returns the attached event log (nil when tracing is off). The
+	// MPI layer emits its call enter/exit events through it.
+	Trace() *tracelog.Log
 }
 
 // matches reports whether an arrived envelope satisfies a posted match.
@@ -188,6 +192,9 @@ type earlyMsg struct {
 	// bsendSlot, when nonzero, asks the receiver to notify the sender so
 	// it can free its staging space (buffered mode, Figure 8).
 	bsendSlot uint32
+	// traceID is the causal message id this early arrival was traced
+	// under, so the eventual claim and completion stitch into its span.
+	traceID uint64
 }
 
 // matchCore is the matching engine shared by both providers: the posted

@@ -8,6 +8,7 @@ import (
 	"splapi/internal/machine"
 	"splapi/internal/pipes"
 	"splapi/internal/sim"
+	"splapi/internal/tracelog"
 )
 
 // Native frame kinds, carried over the Pipes byte stream.
@@ -54,7 +55,14 @@ type NativeProvider struct {
 	// rendezvous data) never interleave.
 	outQ []*sim.Queue
 
+	// frameOut counts frames enqueued per destination. Pipes delivers the
+	// byte stream in order, so the receiver's per-source frame counter
+	// reaches the same ordinal for the same frame: the pair (rank, dst,
+	// ordinal) is a causal frame id needing no wire bytes.
+	frameOut []uint64
+
 	stats ProviderStats
+	tr    *tracelog.Log
 }
 
 // ProviderStats are cumulative per-task MPCI counters.
@@ -86,8 +94,10 @@ func NewNative(eng *sim.Engine, par *machine.Params, h *hal.HAL, pp *pipes.Pipes
 		bar:  bar,
 	}
 	pr.core.eaCap = par.EarlyArrivalBytes
+	pr.tr = h.Trace()
 	pr.parsers = make([]*frameParser, size)
 	pr.outQ = make([]*sim.Queue, size)
+	pr.frameOut = make([]uint64, size)
 	for i := range pr.parsers {
 		pr.parsers[i] = &frameParser{pr: pr, src: i}
 		if i != pr.rank {
@@ -111,13 +121,17 @@ func NewNative(eng *sim.Engine, par *machine.Params, h *hal.HAL, pp *pipes.Pipes
 // real machine. For MPI semantics the caller treats the buffer as owned by
 // the protocol until the writer has consumed it (requests complete at
 // enqueue because the "pipe buffer copy" is accounted for on the writer).
-func (pr *NativeProvider) enqueueFrame(dst int, hdr, body []byte) {
-	pr.outQ[dst].TryPut(outFrame{hdr: hdr, body: body})
+func (pr *NativeProvider) enqueueFrame(dst int, hdr, body []byte) uint64 {
+	ord := pr.frameOut[dst]
+	pr.frameOut[dst]++
+	pr.outQ[dst].TryPut(outFrame{hdr: hdr, body: body, ord: ord})
+	return ord
 }
 
 type outFrame struct {
 	hdr  []byte
 	body []byte
+	ord  uint64 // per-destination frame ordinal (the causal FrameID)
 }
 
 // writerLoop drains dst's frame queue, writing each frame contiguously into
@@ -148,7 +162,11 @@ func (pr *NativeProvider) writerLoop(p *sim.Proc, dst int) {
 			}
 			bodyHi := off + n - hdrLen
 			if bodyHi > 0 {
-				pr.h.ChargeCPU(p, pr.nativeCopyCost(bodyLo, bodyHi-bodyLo, size))
+				cost := pr.nativeCopyCost(bodyLo, bodyHi-bodyLo, size)
+				pr.h.ChargeCPU(p, cost)
+				if cost > 0 {
+					pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KCopy, pr.rank, dst, tracelog.FrameID(pr.rank, dst, f.ord), bodyHi-bodyLo, int64(cost))
+				}
 			}
 			pr.pp.Write(p, dst, full[off:off+n])
 			off += n
@@ -173,6 +191,9 @@ func (pr *NativeProvider) Size() int { return pr.size }
 
 // Stats returns a copy of the cumulative counters.
 func (pr *NativeProvider) Stats() ProviderStats { return pr.stats }
+
+// Trace implements Provider.
+func (pr *NativeProvider) Trace() *tracelog.Log { return pr.tr }
 
 // Barrier synchronizes all tasks in the job.
 func (pr *NativeProvider) Barrier(p *sim.Proc) { pr.bar.Await(p) }
@@ -258,7 +279,8 @@ func (pr *NativeProvider) Isend(p *sim.Proc, dst int, buf []byte, tag, ctx int, 
 	if eager {
 		pr.stats.EagerSends++
 		hdr := pr.frame(fEager, mode, false, ctx, tag, len(buf), 0, 0)
-		pr.enqueueFrame(dst, hdr, pr.eng.Pool().Snapshot(buf))
+		ord := pr.enqueueFrame(dst, hdr, pr.eng.Pool().Snapshot(buf))
+		pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KSendEager, pr.rank, dst, tracelog.FrameID(pr.rank, dst, ord), len(buf), int64(tag))
 		pr.stats.BytesSent += uint64(len(buf))
 		// Data is in the pipe buffers: the user buffer is reusable, and a
 		// buffered send's staging space can be freed (Pipes now owns the
@@ -273,7 +295,8 @@ func (pr *NativeProvider) Isend(p *sim.Proc, dst int, buf []byte, tag, ctx int, 
 	pr.sendReqs = append(pr.sendReqs, req)
 	req.rdvBuf = buf
 	hdr := pr.frame(fRTS, mode, req.blocking, ctx, tag, len(buf), id, 0)
-	pr.enqueueFrame(dst, hdr, nil)
+	ord := pr.enqueueFrame(dst, hdr, nil)
+	pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KSendRdv, pr.rank, dst, tracelog.FrameID(pr.rank, dst, ord), len(buf), int64(tag))
 	return req
 }
 
@@ -293,7 +316,8 @@ func (pr *NativeProvider) useEager(mode Mode, size int) bool {
 func (pr *NativeProvider) sendRdvData(p *sim.Proc, req *SendReq, recvID uint32) {
 	buf := req.rdvBuf
 	hdr := pr.frame(fRdvData, req.Env.Mode, false, req.Env.Ctx, req.Env.Tag, len(buf), recvID, 0)
-	pr.enqueueFrame(req.Dst, hdr, pr.eng.Pool().Snapshot(buf))
+	ord := pr.enqueueFrame(req.Dst, hdr, pr.eng.Pool().Snapshot(buf))
+	pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KRdvData, pr.rank, req.Dst, tracelog.FrameID(pr.rank, req.Dst, ord), len(buf), int64(recvID))
 	pr.stats.BytesSent += uint64(len(buf))
 	req.rdvBuf = nil
 	pr.freeBsend(req)
@@ -321,6 +345,7 @@ func (pr *NativeProvider) freeBsend(req *SendReq) {
 func (pr *NativeProvider) selfSend(p *sim.Proc, req *SendReq, buf []byte) {
 	pr.stats.SelfSends++
 	env := req.Env
+	pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KSelfSend, pr.rank, pr.rank, 0, len(buf), int64(env.Tag))
 	if rreq := pr.core.matchArrival(env); rreq != nil {
 		pr.h.ChargeCPU(p, pr.par.MatchCost+pr.par.CopyCost(len(buf)))
 		copy(rreq.Buf, buf)
@@ -373,10 +398,12 @@ func (pr *NativeProvider) claimEarly(p *sim.Proc, req *RecvReq, em *earlyMsg) {
 		pr.core.releaseEarly(em)
 		cts := pr.frame(fCTS, 0, false, 0, 0, 0, em.rtsSendReq, id)
 		req.pendingEnv = em.env
-		pr.enqueueFrame(em.env.Src, cts, nil)
+		ord := pr.enqueueFrame(em.env.Src, cts, nil)
+		pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KRTSAck, pr.rank, em.env.Src, tracelog.FrameID(pr.rank, em.env.Src, ord), 0, int64(em.rtsSendReq))
 		return
 	}
 	em.claimedBy = req
+	pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KEarlyClaim, pr.rank, em.env.Src, em.traceID, em.env.Size, int64(em.env.Tag))
 	if em.complete {
 		pr.finishEarly(p, req, em)
 		return
@@ -388,6 +415,7 @@ func (pr *NativeProvider) claimEarly(p *sim.Proc, req *RecvReq, em *earlyMsg) {
 // finishEarly copies a completed early arrival into the user buffer.
 func (pr *NativeProvider) finishEarly(p *sim.Proc, req *RecvReq, em *earlyMsg) {
 	pr.h.ChargeCPU(p, pr.par.CopyCost(em.env.Size)) // EA buffer -> user buffer
+	pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KCopy, pr.rank, em.env.Src, em.traceID, em.env.Size, int64(pr.par.CopyCost(em.env.Size)))
 	copy(req.Buf, em.data)
 	// The pooled early-arrival buffer is dead once drained into the user
 	// buffer (the completion closure below reads only envelope scalars).
@@ -398,6 +426,7 @@ func (pr *NativeProvider) finishEarly(p *sim.Proc, req *RecvReq, em *earlyMsg) {
 		em.onClaim(p)
 	}
 	pr.stats.BytesRecved += uint64(em.env.Size)
+	pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KRecvDone, pr.rank, em.env.Src, em.traceID, em.env.Size, int64(em.env.Tag))
 	pr.publish(p, func(p *sim.Proc) {
 		req.complete(em.env.Src, em.env.Tag, em.env.Size)
 		pr.h.KickProgress()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"splapi/internal/sim"
+	"splapi/internal/tracelog"
 )
 
 // frameParser turns the in-order byte stream from one source into MPCI
@@ -24,6 +25,13 @@ type frameParser struct {
 	dstEarly *earlyMsg
 
 	env Envelope // envelope of the frame in progress
+
+	// ord counts frames parsed from this source; because the Pipes stream
+	// is in order it mirrors the sender's per-destination counter, giving
+	// both ends the same FrameID without any wire bytes.
+	ord uint64
+	// curID is the causal id of the frame whose body is in progress.
+	curID uint64
 
 	// Frame handling may block (e.g. transmitting rendezvous data on CTS
 	// can stall on the pipe window), and blocking re-enters the
@@ -95,6 +103,8 @@ func (fp *frameParser) consume(p *sim.Proc, data []byte) {
 // frame handles a complete frame header.
 func (fp *frameParser) frame(p *sim.Proc, b []byte) {
 	pr := fp.pr
+	fid := tracelog.FrameID(fp.src, pr.rank, fp.ord)
+	fp.ord++
 	kind := b[0]
 	mode := Mode(b[1])
 	ctx := int(int32(binary.BigEndian.Uint32(b[4:8])))
@@ -106,16 +116,19 @@ func (fp *frameParser) frame(p *sim.Proc, b []byte) {
 	switch kind {
 	case fEager:
 		fp.env = Envelope{Src: fp.src, Tag: tag, Ctx: ctx, Size: size, Mode: mode}
+		fp.curID = fid
 		pr.h.ChargeCPU(p, pr.par.MatchCost)
 		if req := pr.core.matchArrival(fp.env); req != nil {
 			pr.stats.Matched++
+			pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KMatch, pr.rank, fp.src, fid, size, int64(pr.par.MatchCost))
 			fp.dstReq = req
 		} else {
 			if mode == ModeReady {
 				panic("mpci: ready-mode message arrived with no matching receive posted (fatal per MPI)")
 			}
 			pr.stats.Unexpected++
-			em := &earlyMsg{env: fp.env, data: pr.eng.Pool().Get(size)}
+			pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KUnexpected, pr.rank, fp.src, fid, size, int64(tag))
+			em := &earlyMsg{env: fp.env, data: pr.eng.Pool().Get(size), traceID: fid}
 			pr.core.addEarly(em)
 			fp.dstEarly = em
 		}
@@ -129,14 +142,17 @@ func (fp *frameParser) frame(p *sim.Proc, b []byte) {
 		pr.h.ChargeCPU(p, pr.par.MatchCost)
 		if req := pr.core.matchArrival(env); req != nil {
 			pr.stats.Matched++
+			pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KMatch, pr.rank, fp.src, fid, size, int64(pr.par.MatchCost))
 			id := uint32(len(pr.recvReqs))
 			pr.recvReqs = append(pr.recvReqs, req)
 			req.pendingEnv = env
 			cts := pr.frame(fCTS, 0, false, 0, 0, 0, reqID, id)
-			pr.enqueueFrame(fp.src, cts, nil)
+			ord := pr.enqueueFrame(fp.src, cts, nil)
+			pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KRTSAck, pr.rank, fp.src, tracelog.FrameID(pr.rank, fp.src, ord), 0, int64(reqID))
 		} else {
 			pr.stats.Unexpected++
-			pr.core.addEarly(&earlyMsg{env: env, isRTS: true, rtsSendReq: reqID, rtsBlocking: b[2] == 1})
+			pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KUnexpected, pr.rank, fp.src, fid, size, int64(tag))
+			pr.core.addEarly(&earlyMsg{env: env, isRTS: true, rtsSendReq: reqID, rtsBlocking: b[2] == 1, traceID: fid})
 		}
 
 	case fCTS:
@@ -149,6 +165,7 @@ func (fp *frameParser) frame(p *sim.Proc, b []byte) {
 	case fRdvData:
 		req := pr.recvReqs[reqID]
 		fp.env = req.pendingEnv
+		fp.curID = fid
 		fp.dstReq = req
 		fp.bodyLen, fp.bodyOff = size, 0
 		if size == 0 {
@@ -165,7 +182,11 @@ func (fp *frameParser) frame(p *sim.Proc, b []byte) {
 // copy rule for the byte range.
 func (fp *frameParser) body(p *sim.Proc, data []byte) {
 	pr := fp.pr
-	pr.h.ChargeCPU(p, pr.nativeCopyCost(fp.bodyOff, len(data), fp.bodyLen))
+	cost := pr.nativeCopyCost(fp.bodyOff, len(data), fp.bodyLen)
+	pr.h.ChargeCPU(p, cost)
+	if cost > 0 {
+		pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KCopy, pr.rank, fp.src, fp.curID, len(data), int64(cost))
+	}
 	switch {
 	case fp.dstReq != nil:
 		copy(fp.dstReq.Buf[fp.bodyOff:], data)
@@ -183,6 +204,7 @@ func (fp *frameParser) endBody(p *sim.Proc) {
 	case fp.dstReq != nil:
 		req := fp.dstReq
 		pr.stats.BytesRecved += uint64(env.Size)
+		pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KRecvDone, pr.rank, env.Src, fp.curID, env.Size, int64(env.Tag))
 		pr.publish(p, func(p *sim.Proc) {
 			req.complete(env.Src, env.Tag, env.Size)
 			pr.h.KickProgress()

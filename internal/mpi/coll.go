@@ -5,6 +5,7 @@ import (
 
 	"splapi/internal/mpci"
 	"splapi/internal/sim"
+	"splapi/internal/tracelog"
 )
 
 // Collective operations, implemented — as the paper's MPI layer does — by
@@ -41,6 +42,8 @@ func (c *Comm) recvC(p *sim.Proc, buf []byte, src, tag int) {
 // Barrier blocks until all members arrive (MPI_Barrier), using the
 // dissemination algorithm: ceil(log2 n) rounds of pairwise messages.
 func (c *Comm) Barrier(p *sim.Proc) {
+	c.enter(p, tracelog.OpBarrier, -1, 0)
+	defer c.exit(p, tracelog.OpBarrier)
 	n := c.Size()
 	if n == 1 {
 		return

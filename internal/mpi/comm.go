@@ -14,6 +14,7 @@ import (
 
 	"splapi/internal/mpci"
 	"splapi/internal/sim"
+	"splapi/internal/tracelog"
 )
 
 // Wildcards, re-exported for callers.
@@ -37,6 +38,7 @@ type Comm struct {
 	ctx   int   // context id for point-to-point traffic
 	cctx  int   // context id for collective traffic
 	world *worldState
+	tl    *tracelog.Log // provider's event log, cached off the hot path
 }
 
 // worldState is shared by all communicators of one task.
@@ -57,7 +59,18 @@ func NewWorld(prov mpci.Provider) *Comm {
 		ctx:   0,
 		cctx:  1,
 		world: &worldState{nextCtx: 2},
+		tl:    prov.Trace(),
 	}
+}
+
+// enter/exit bracket an MPI call as a span on the node's mpi track; the
+// Chrome exporter renders KMPIEnter/KMPIExit as nested B/E slices.
+func (c *Comm) enter(p *sim.Proc, op int64, peer, size int) {
+	c.tl.Emit(p.Now(), tracelog.LMPI, tracelog.KMPIEnter, c.prov.Rank(), peer, 0, size, op)
+}
+
+func (c *Comm) exit(p *sim.Proc, op int64) {
+	c.tl.Emit(p.Now(), tracelog.LMPI, tracelog.KMPIExit, c.prov.Rank(), -1, 0, 0, op)
 }
 
 // Rank returns the calling task's rank in this communicator.
@@ -110,13 +123,17 @@ func (r *Request) done() bool {
 
 // Wait blocks until the request completes (MPI_Wait).
 func (r *Request) Wait(p *sim.Proc) Status {
+	r.c.enter(p, tracelog.OpWait, -1, 0)
 	r.c.prov.WaitUntil(p, r.done)
+	r.c.exit(p, tracelog.OpWait)
 	return r.statusNow()
 }
 
 // Test reports whether the request has completed, driving progress once
 // (MPI_Test).
 func (r *Request) Test(p *sim.Proc) (Status, bool) {
+	r.c.enter(p, tracelog.OpTest, -1, 0)
+	defer r.c.exit(p, tracelog.OpTest)
 	if !r.done() {
 		progressOnce(r.c, p)
 	}
@@ -152,6 +169,8 @@ func WaitAll(p *sim.Proc, reqs ...*Request) []Status {
 	if len(reqs) == 0 {
 		return nil
 	}
+	reqs[0].c.enter(p, tracelog.OpWaitAll, -1, len(reqs))
+	defer reqs[0].c.exit(p, tracelog.OpWaitAll)
 	reqs[0].c.prov.WaitUntil(p, func() bool {
 		for _, r := range reqs {
 			if !r.done() {
@@ -173,6 +192,8 @@ func WaitAny(p *sim.Proc, reqs ...*Request) (int, Status) {
 	if len(reqs) == 0 {
 		panic("mpi: WaitAny with no requests")
 	}
+	reqs[0].c.enter(p, tracelog.OpWaitAny, -1, len(reqs))
+	defer reqs[0].c.exit(p, tracelog.OpWaitAny)
 	idx := -1
 	reqs[0].c.prov.WaitUntil(p, func() bool {
 		for i, r := range reqs {
@@ -200,65 +221,94 @@ func (c *Comm) isend(p *sim.Proc, buf []byte, dst, tag int, mode mpci.Mode, bloc
 
 // Send is the blocking standard-mode send (MPI_Send).
 func (c *Comm) Send(p *sim.Proc, buf []byte, dst, tag int) {
+	c.enter(p, tracelog.OpSend, c.global(dst), len(buf))
 	c.isend(p, buf, dst, tag, mpci.ModeStandard, true).Wait(p)
+	c.exit(p, tracelog.OpSend)
 }
 
 // Ssend is the blocking synchronous-mode send (MPI_Ssend).
 func (c *Comm) Ssend(p *sim.Proc, buf []byte, dst, tag int) {
+	c.enter(p, tracelog.OpSsend, c.global(dst), len(buf))
 	c.isend(p, buf, dst, tag, mpci.ModeSync, true).Wait(p)
+	c.exit(p, tracelog.OpSsend)
 }
 
 // Rsend is the blocking ready-mode send (MPI_Rsend).
 func (c *Comm) Rsend(p *sim.Proc, buf []byte, dst, tag int) {
+	c.enter(p, tracelog.OpRsend, c.global(dst), len(buf))
 	c.isend(p, buf, dst, tag, mpci.ModeReady, true).Wait(p)
+	c.exit(p, tracelog.OpRsend)
 }
 
 // Bsend is the blocking buffered-mode send (MPI_Bsend).
 func (c *Comm) Bsend(p *sim.Proc, buf []byte, dst, tag int) {
+	c.enter(p, tracelog.OpBsend, c.global(dst), len(buf))
 	c.isend(p, buf, dst, tag, mpci.ModeBuffered, true).Wait(p)
+	c.exit(p, tracelog.OpBsend)
 }
 
 // Isend is the nonblocking standard-mode send (MPI_Isend).
 func (c *Comm) Isend(p *sim.Proc, buf []byte, dst, tag int) *Request {
-	return c.isend(p, buf, dst, tag, mpci.ModeStandard, false)
+	c.enter(p, tracelog.OpIsend, c.global(dst), len(buf))
+	r := c.isend(p, buf, dst, tag, mpci.ModeStandard, false)
+	c.exit(p, tracelog.OpIsend)
+	return r
 }
 
 // Issend is the nonblocking synchronous-mode send (MPI_Issend).
 func (c *Comm) Issend(p *sim.Proc, buf []byte, dst, tag int) *Request {
-	return c.isend(p, buf, dst, tag, mpci.ModeSync, false)
+	c.enter(p, tracelog.OpIssend, c.global(dst), len(buf))
+	r := c.isend(p, buf, dst, tag, mpci.ModeSync, false)
+	c.exit(p, tracelog.OpIssend)
+	return r
 }
 
 // Irsend is the nonblocking ready-mode send (MPI_Irsend).
 func (c *Comm) Irsend(p *sim.Proc, buf []byte, dst, tag int) *Request {
-	return c.isend(p, buf, dst, tag, mpci.ModeReady, false)
+	c.enter(p, tracelog.OpIrsend, c.global(dst), len(buf))
+	r := c.isend(p, buf, dst, tag, mpci.ModeReady, false)
+	c.exit(p, tracelog.OpIrsend)
+	return r
 }
 
 // Ibsend is the nonblocking buffered-mode send (MPI_Ibsend).
 func (c *Comm) Ibsend(p *sim.Proc, buf []byte, dst, tag int) *Request {
-	return c.isend(p, buf, dst, tag, mpci.ModeBuffered, false)
+	c.enter(p, tracelog.OpIbsend, c.global(dst), len(buf))
+	r := c.isend(p, buf, dst, tag, mpci.ModeBuffered, false)
+	c.exit(p, tracelog.OpIbsend)
+	return r
 }
 
 // Irecv posts a nonblocking receive (MPI_Irecv).
 func (c *Comm) Irecv(p *sim.Proc, buf []byte, src, tag int) *Request {
+	c.enter(p, tracelog.OpIrecv, c.global(src), len(buf))
 	rreq := c.prov.Irecv(p, c.global(src), tag, c.ctx, buf)
+	c.exit(p, tracelog.OpIrecv)
 	return &Request{c: c, r: rreq}
 }
 
 // Recv is the blocking receive (MPI_Recv).
 func (c *Comm) Recv(p *sim.Proc, buf []byte, src, tag int) Status {
-	return c.Irecv(p, buf, src, tag).Wait(p)
+	c.enter(p, tracelog.OpRecv, c.global(src), len(buf))
+	st := c.Irecv(p, buf, src, tag).Wait(p)
+	c.exit(p, tracelog.OpRecv)
+	return st
 }
 
 // Sendrecv performs a simultaneous send and receive (MPI_Sendrecv).
 func (c *Comm) Sendrecv(p *sim.Proc, sendBuf []byte, dst, sendTag int, recvBuf []byte, src, recvTag int) Status {
+	c.enter(p, tracelog.OpSendrecv, c.global(dst), len(sendBuf))
 	rreq := c.Irecv(p, recvBuf, src, recvTag)
 	sreq := c.Isend(p, sendBuf, dst, sendTag)
 	WaitAll(p, sreq, rreq)
+	c.exit(p, tracelog.OpSendrecv)
 	return rreq.statusNow()
 }
 
 // Probe blocks until a matching message is available (MPI_Probe).
 func (c *Comm) Probe(p *sim.Proc, src, tag int) Status {
+	c.enter(p, tracelog.OpProbe, c.global(src), 0)
+	defer c.exit(p, tracelog.OpProbe)
 	var env mpci.Envelope
 	c.prov.WaitUntil(p, func() bool {
 		e, ok := c.prov.Iprobe(p, c.global(src), tag, c.ctx)
@@ -272,6 +322,8 @@ func (c *Comm) Probe(p *sim.Proc, src, tag int) Status {
 
 // Iprobe reports whether a matching message is available (MPI_Iprobe).
 func (c *Comm) Iprobe(p *sim.Proc, src, tag int) (Status, bool) {
+	c.enter(p, tracelog.OpIprobe, c.global(src), 0)
+	defer c.exit(p, tracelog.OpIprobe)
 	env, ok := c.prov.Iprobe(p, c.global(src), tag, c.ctx)
 	if !ok {
 		return Status{}, false
@@ -300,6 +352,7 @@ func (c *Comm) Dup(p *sim.Proc) *Comm {
 		ctx:   c.world.nextCtx,
 		cctx:  c.world.nextCtx + 1,
 		world: c.world,
+		tl:    c.tl,
 	}
 	c.world.nextCtx += 2
 	// Synchronize so no member races ahead and sends on the new context
@@ -352,7 +405,7 @@ func (c *Comm) Split(p *sim.Proc, color, key int) *Comm {
 			myIdx = i
 		}
 	}
-	return &Comm{prov: c.prov, group: group, rank: myIdx, ctx: ctx, cctx: ctx + 1, world: c.world}
+	return &Comm{prov: c.prov, group: group, rank: myIdx, ctx: ctx, cctx: ctx + 1, world: c.world, tl: c.tl}
 }
 
 // Done reports whether the request has completed WITHOUT driving progress:
@@ -367,6 +420,8 @@ func TestAll(p *sim.Proc, reqs ...*Request) ([]Status, bool) {
 	if len(reqs) == 0 {
 		return nil, true
 	}
+	reqs[0].c.enter(p, tracelog.OpTestAll, -1, len(reqs))
+	defer reqs[0].c.exit(p, tracelog.OpTestAll)
 	progressOnce(reqs[0].c, p)
 	for _, r := range reqs {
 		if !r.done() {
@@ -386,6 +441,8 @@ func WaitSome(p *sim.Proc, reqs ...*Request) ([]int, []Status) {
 	if len(reqs) == 0 {
 		return nil, nil
 	}
+	reqs[0].c.enter(p, tracelog.OpWaitSome, -1, len(reqs))
+	defer reqs[0].c.exit(p, tracelog.OpWaitSome)
 	reqs[0].c.prov.WaitUntil(p, func() bool {
 		for _, r := range reqs {
 			if r.done() {

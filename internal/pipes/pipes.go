@@ -24,6 +24,7 @@ import (
 	"splapi/internal/hal"
 	"splapi/internal/machine"
 	"splapi/internal/sim"
+	"splapi/internal/tracelog"
 )
 
 // Wire format after the protocol byte:
@@ -99,6 +100,7 @@ type Pipes struct {
 	svcCond     sim.Cond
 
 	stats Stats
+	tr    *tracelog.Log
 }
 
 // New creates the pipes endpoint for h's node in an n-task job and registers
@@ -129,6 +131,9 @@ func (pp *Pipes) SetDeliver(fn Deliver) { pp.deliver = fn }
 // Stats returns a copy of the cumulative counters.
 func (pp *Pipes) Stats() Stats { return pp.stats }
 
+// SetTrace attaches an event log (nil disables tracing).
+func (pp *Pipes) SetTrace(tl *tracelog.Log) { pp.tr = tl }
+
 // InFlight returns the number of unacknowledged bytes toward dst.
 func (pp *Pipes) InFlight(dst int) int { return len(pp.send[dst].unacked) }
 
@@ -156,6 +161,7 @@ func (pp *Pipes) Write(p *sim.Proc, dst int, data []byte) {
 		// Window check.
 		for len(sp.unacked) >= pp.par.PipeWindowBytes {
 			pp.stats.WindowStalls++
+			pp.tr.Emit(p.Now(), tracelog.LPipes, tracelog.KPipeStall, pp.node, dst, 0, len(sp.unacked), int64(sp.next))
 			pp.progressWindow(p, sp)
 		}
 		room := pp.par.PipeWindowBytes - len(sp.unacked)
@@ -210,6 +216,7 @@ func (pp *Pipes) sendData(p *sim.Proc, dst int, off uint64, seg []byte) {
 	copy(buf[dataHdrSize:], seg)
 	pp.stats.DataPackets++
 	pp.stats.BytesSent += uint64(len(seg))
+	pp.tr.Emit(p.Now(), tracelog.LPipes, tracelog.KPipeData, pp.node, dst, 0, len(seg), int64(off))
 	pp.h.Send(p, dst, buf)
 	pp.eng.Pool().Put(buf)
 }
@@ -223,6 +230,7 @@ func (pp *Pipes) sendAck(p *sim.Proc, src int) {
 	buf[1] = typeAck
 	binary.BigEndian.PutUint64(buf[2:10], rp.expected)
 	pp.stats.AcksSent++
+	pp.tr.Emit(p.Now(), tracelog.LPipes, tracelog.KPipeAck, pp.node, src, 0, 0, int64(rp.expected))
 	pp.h.Send(p, src, buf)
 	pp.eng.Pool().Put(buf)
 }
@@ -305,6 +313,7 @@ func (pp *Pipes) retransmit(p *sim.Proc, dst int) {
 		return
 	}
 	pp.stats.Retransmits++
+	pp.tr.Emit(p.Now(), tracelog.LPipes, tracelog.KPipeRtx, pp.node, dst, 0, len(sp.unacked), int64(sp.acked))
 	off := sp.acked
 	rest := sp.unacked
 	for len(rest) > 0 {
@@ -360,6 +369,7 @@ func (pp *Pipes) onData(p *sim.Proc, src int, pkt []byte) {
 	case off > rp.expected:
 		// Out of order: stash within the window.
 		pp.stats.OutOfOrder++
+		pp.tr.Emit(p.Now(), tracelog.LPipes, tracelog.KPipeOOO, pp.node, src, 0, len(data), int64(off))
 		if rp.stashed+len(data) > pp.par.PipeWindowBytes {
 			pp.stats.StashOverflow++
 			return // dropped; retransmission recovers it
@@ -372,6 +382,7 @@ func (pp *Pipes) onData(p *sim.Proc, src int, pkt []byte) {
 	default:
 		// Duplicate of already-delivered data.
 		pp.stats.DupsDropped++
+		pp.tr.Emit(p.Now(), tracelog.LPipes, tracelog.KPipeDup, pp.node, src, 0, len(data), int64(off))
 		pp.sendAck(p, src)
 	}
 }
@@ -381,6 +392,7 @@ func (pp *Pipes) deliverChunk(p *sim.Proc, src int, data []byte) {
 	if pp.deliver == nil {
 		panic("pipes: no deliver callback installed")
 	}
+	pp.tr.Emit(p.Now(), tracelog.LPipes, tracelog.KPipeDeliver, pp.node, src, 0, len(data), 0)
 	pp.deliver(p, src, data)
 }
 

@@ -92,7 +92,6 @@ type Engine struct {
 	free    []*event      // recycled event slots
 	ctl     chan struct{} // token returned to the engine by a yielding proc
 	rng     *rand.Rand
-	pool    BufPool
 	procs   map[*Proc]struct{} // live (spawned, not finished) processes
 	blocked map[*Proc]struct{} // processes parked on a primitive
 	running bool
@@ -101,6 +100,10 @@ type Engine struct {
 	// procPanic carries a panic out of a process goroutine so Run can
 	// re-raise it on the caller's goroutine (where tests can recover it).
 	procPanic any
+	// pool is large (free lists + per-class counters for every size class)
+	// and cold relative to the dispatch loop; keeping it last keeps the
+	// scalar fields above packed into the leading cache lines.
+	pool BufPool
 }
 
 // NewEngine returns an engine whose clock starts at 0 and whose internal

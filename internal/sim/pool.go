@@ -32,6 +32,10 @@ type BufPool struct {
 	free [poolClasses][][]byte
 	// PoolStats are plain counters, readable via Stats.
 	stats PoolStats
+	// per-class traffic, readable via ClassStats.
+	classGets [poolClasses]uint64
+	classHits [poolClasses]uint64
+	classPuts [poolClasses]uint64
 }
 
 // PoolStats counts pool traffic. Hits/Gets is the recycle rate.
@@ -41,6 +45,15 @@ type PoolStats struct {
 	Puts     uint64 // buffers accepted back
 	Foreign  uint64 // Put calls dropped (capacity not a class size)
 	InFlight int64  // Gets minus accepted Puts
+}
+
+// ClassStat is the traffic of one power-of-two size class.
+type ClassStat struct {
+	Size uint64 // class buffer size in bytes
+	Gets uint64
+	Hits uint64 // Gets served from the free list
+	Puts uint64
+	Free int // buffers parked on the free list right now
 }
 
 const (
@@ -96,12 +109,14 @@ func (bp *BufPool) get(n int) ([]byte, bool) {
 	}
 	bp.stats.Gets++
 	bp.stats.InFlight++
+	bp.classGets[c]++
 	fl := bp.free[c]
 	if m := len(fl); m > 0 {
 		b := fl[m-1][:n]
 		fl[m-1] = nil
 		bp.free[c] = fl[:m-1]
 		bp.stats.Hits++
+		bp.classHits[c]++
 		return b, true
 	}
 	return make([]byte, n, 1<<(c+poolMinBits)), false
@@ -123,7 +138,27 @@ func (bp *BufPool) Put(b []byte) {
 	bp.free[cl] = append(bp.free[cl], b[:0])
 	bp.stats.Puts++
 	bp.stats.InFlight--
+	bp.classPuts[cl]++
 }
 
 // Stats returns a snapshot of the pool counters.
 func (bp *BufPool) Stats() PoolStats { return bp.stats }
+
+// ClassStats returns the per-class traffic for every class that saw any,
+// smallest class first.
+func (bp *BufPool) ClassStats() []ClassStat {
+	var out []ClassStat
+	for c := 0; c < poolClasses; c++ {
+		if bp.classGets[c] == 0 && bp.classPuts[c] == 0 {
+			continue
+		}
+		out = append(out, ClassStat{
+			Size: 1 << (c + poolMinBits),
+			Gets: bp.classGets[c],
+			Hits: bp.classHits[c],
+			Puts: bp.classPuts[c],
+			Free: len(bp.free[c]),
+		})
+	}
+	return out
+}

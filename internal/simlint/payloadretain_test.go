@@ -16,5 +16,6 @@ func TestPayloadretain(t *testing.T) {
 		"payloadretain/switchnet", // pre-fix fabric.go pattern (must flag)
 		"payloadretain/hal",       // every retention shape + copy idioms
 		"payloadretain/adapter",   // BufPool.Put ownership transfer vs caller-owned bytes
+		"payloadretain/tracelog",  // a trace event retaining payload bytes (scalars only!)
 	)
 }

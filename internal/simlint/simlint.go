@@ -177,6 +177,7 @@ var simDomain = map[string]bool{
 	"mpi":       true,
 	"cluster":   true,
 	"nas":       true,
+	"tracelog":  true,
 }
 
 // injectionBoundary names the packages where caller-owned payload bytes
@@ -186,6 +187,10 @@ var injectionBoundary = map[string]bool{
 	"adapter":   true,
 	"hal":       true,
 	"lapi":      true,
+	// tracelog observes every layer's payloads as they fly past; an event
+	// record that retained the bytes instead of scalars would be the PR 1
+	// aliasing bug wearing an observability costume.
+	"tracelog": true,
 }
 
 // InSimDomain reports whether pkgPath is a simulation-domain package.

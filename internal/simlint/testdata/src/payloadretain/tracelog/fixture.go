@@ -1,0 +1,36 @@
+// Fixture: a trace sink must never retain caller-owned payload bytes.
+// The real tracelog.Event carries only scalars (timestamps, ids, sizes)
+// for exactly this reason; this fixture proves the analyzer flags the
+// tempting alternative — an event record keeping a reference to the
+// payload it describes while the emitting layer keeps rewriting the
+// same buffer.
+package tracelog
+
+type event struct {
+	t       int64
+	payload []byte
+}
+
+type log struct {
+	ring []event
+	last []byte
+}
+
+// emitPayload is the forbidden design: the event retains pkt.
+func (l *log) emitPayload(t int64, pkt []byte) {
+	l.last = pkt                                       // want `stored into field`
+	l.ring = append(l.ring, event{t: t, payload: pkt}) // want `aliased into a composite literal`
+}
+
+// emitSnapshot owns its bytes; nothing here may be flagged.
+func (l *log) emitSnapshot(t int64, pkt []byte) {
+	buf := append([]byte(nil), pkt...)
+	l.last = buf
+	l.ring = append(l.ring, event{t: t, payload: buf})
+}
+
+// emitScalars is the real tracelog shape: only scalars derived from the
+// payload cross into the event record.
+func (l *log) emitScalars(t int64, pkt []byte) {
+	l.ring = append(l.ring, event{t: int64(len(pkt)) + t})
+}

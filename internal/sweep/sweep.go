@@ -30,6 +30,7 @@ import (
 	"splapi/internal/bench"
 	"splapi/internal/machine"
 	"splapi/internal/trace"
+	"splapi/internal/tracelog"
 )
 
 // Options configures a sweep run.
@@ -52,6 +53,10 @@ type Options struct {
 	// GitDescribe is recorded in the result for provenance (the CLI fills
 	// it from `git describe`).
 	GitDescribe string
+	// Trace attaches a fresh event log to every cell run. The logs are
+	// discarded — the option exists to prove (in determinism checks) that
+	// tracing cannot move a virtual-time result.
+	Trace bool
 }
 
 // TraceCounters is the compact per-point protocol/fabric counter summary,
@@ -188,7 +193,11 @@ func Run(e bench.Experiment, o Options) (*Result, error) {
 					}()
 					c := e.Cells[j.cell]
 					seed := CellSeed(base, e.ID, c.Series, c.X, j.rep)
-					slots[j.cell][j.rep] = c.Run(seed, mod)
+					var tl *tracelog.Log
+					if o.Trace {
+						tl = tracelog.New(0)
+					}
+					slots[j.cell][j.rep] = c.Run(seed, mod, tl)
 				}()
 			}
 		}()

@@ -7,6 +7,7 @@ import (
 
 	"splapi/internal/bench"
 	"splapi/internal/sim"
+	"splapi/internal/tracelog"
 )
 
 // syntheticExperiment builds a cheap experiment whose cell values are pure
@@ -19,7 +20,7 @@ func syntheticExperiment(cells int) bench.Experiment {
 		e.Cells = append(e.Cells, bench.Cell{
 			Series: "s",
 			X:      i,
-			Run: func(seed int64, mod bench.ParamMod) bench.Measurement {
+			Run: func(seed int64, mod bench.ParamMod, tl *tracelog.Log) bench.Measurement {
 				return bench.Measurement{
 					Value:       float64(i)*1000 + float64(seed%97),
 					VirtualTime: sim.Time(seed % 1000),
@@ -252,7 +253,7 @@ func TestCompareSelfIsClean(t *testing.T) {
 func TestRunPropagatesPanics(t *testing.T) {
 	e := bench.Experiment{ID: "boom", Unit: "us", Cells: []bench.Cell{{
 		Series: "s", X: 1,
-		Run: func(seed int64, mod bench.ParamMod) bench.Measurement { panic("kaboom") },
+		Run: func(seed int64, mod bench.ParamMod, tl *tracelog.Log) bench.Measurement { panic("kaboom") },
 	}}}
 	if _, err := Run(e, Options{Seeds: 2, Par: 2}); err == nil {
 		t.Fatal("Run swallowed a cell panic")

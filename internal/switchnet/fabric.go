@@ -23,6 +23,7 @@ import (
 
 	"splapi/internal/machine"
 	"splapi/internal/sim"
+	"splapi/internal/tracelog"
 )
 
 // Packet is one switch packet. Payload carries the upper-layer protocol
@@ -37,6 +38,10 @@ type Packet struct {
 	// seq is a global injection sequence number used for reorder stats.
 	seq uint64
 }
+
+// Seq exposes the injection sequence number for observability (0 before
+// the packet enters the fabric).
+func (pk *Packet) Seq() uint64 { return pk.seq }
 
 func (pk *Packet) String() string {
 	return fmt.Sprintf("pkt{%d->%d route=%d wire=%dB}", pk.Src, pk.Dst, pk.Route, pk.Wire)
@@ -76,6 +81,7 @@ type Fabric struct {
 	pairs   map[[2]int]*pair
 	seq     uint64
 	stats   Stats
+	tr      *tracelog.Log
 }
 
 // New creates a fabric with n ports using the given cost model.
@@ -97,6 +103,9 @@ func (f *Fabric) Ports() int { return f.n }
 
 // Stats returns a copy of the cumulative counters.
 func (f *Fabric) Stats() Stats { return f.stats }
+
+// SetTrace attaches an event log (nil disables tracing).
+func (f *Fabric) SetTrace(tl *tracelog.Log) { f.tr = tl }
 
 // AttachPort registers the delivery callback for a node. It must be called
 // once per node before any traffic is sent to it.
@@ -147,9 +156,11 @@ func (f *Fabric) Send(pkt *Packet, ready sim.Time) {
 	f.seq++
 	f.stats.Injected++
 	f.stats.BytesWire += uint64(pkt.Wire)
+	f.tr.Emit(f.eng.Now(), tracelog.LFabric, tracelog.KInject, pkt.Src, pkt.Dst, tracelog.PacketID(pkt.seq), pkt.Wire, 0)
 
 	if f.par.DropProb > 0 && f.eng.Rand().Float64() < f.par.DropProb {
 		f.stats.Dropped++
+		f.tr.Emit(f.eng.Now(), tracelog.LFabric, tracelog.KDrop, pkt.Src, pkt.Dst, tracelog.PacketID(pkt.seq), pkt.Wire, 0)
 		f.eng.Pool().Put(pkt.Payload)
 		return
 	}
@@ -158,6 +169,7 @@ func (f *Fabric) Send(pkt *Packet, ready sim.Time) {
 
 	if f.par.DupProb > 0 && f.eng.Rand().Float64() < f.par.DupProb {
 		f.stats.Duplicated++
+		f.tr.Emit(f.eng.Now(), tracelog.LFabric, tracelog.KDup, pkt.Src, pkt.Dst, tracelog.PacketID(pkt.seq), pkt.Wire, 0)
 		// The duplicate carries its own copy of the snapshot so the two
 		// deliveries never alias each other's bytes.
 		dup := &Packet{Src: pkt.Src, Dst: pkt.Dst, Payload: f.eng.Pool().Snapshot(pkt.Payload), Wire: pkt.Wire, seq: pkt.seq}
@@ -185,9 +197,11 @@ func (f *Fabric) transit(pkt *Packet, ready sim.Time) {
 	ser := f.par.WireTime(pkt.Wire)
 	rt.freeAt = start + ser
 	arrival := start + ser + f.par.SwitchBaseLatency + rt.skew
+	f.tr.Emit(f.eng.Now(), tracelog.LFabric, tracelog.KWire, pkt.Src, pkt.Dst, tracelog.PacketID(pkt.seq), pkt.Wire, int64(arrival-start))
 
 	f.eng.At(arrival, func() {
 		f.stats.Delivered++
+		f.tr.Emit(f.eng.Now(), tracelog.LFabric, tracelog.KDeliver, pkt.Dst, pkt.Src, tracelog.PacketID(pkt.seq), pkt.Wire, 0)
 		if pkt.seq < ps.lastSeq {
 			f.stats.Reordered++
 		} else {

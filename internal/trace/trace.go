@@ -16,6 +16,7 @@ import (
 	"splapi/internal/lapi"
 	"splapi/internal/mpci"
 	"splapi/internal/pipes"
+	"splapi/internal/sim"
 	"splapi/internal/switchnet"
 )
 
@@ -36,11 +37,16 @@ type Report struct {
 	Nodes  int
 	Fabric switchnet.Stats
 	Per    []NodeReport
+	// Pool is the engine buffer pool's aggregate traffic; PoolClasses breaks
+	// it down by size class (only classes with traffic appear).
+	Pool        sim.PoolStats
+	PoolClasses []sim.ClassStat
 }
 
 // Collect snapshots every layer of the cluster.
 func Collect(c *cluster.Cluster) *Report {
-	r := &Report{Stack: c.Stack.String(), Nodes: len(c.HALs), Fabric: c.Fabric.Stats()}
+	r := &Report{Stack: c.Stack.String(), Nodes: len(c.HALs), Fabric: c.Fabric.Stats(),
+		Pool: c.Eng.Pool().Stats(), PoolClasses: c.Eng.Pool().ClassStats()}
 	for i := range c.HALs {
 		nr := NodeReport{Node: i, Adapter: c.Adapters[i].Stats(), HAL: c.HALs[i].Stats()}
 		if i < len(c.Pipes) {
@@ -138,6 +144,19 @@ func (r *Report) Print(w io.Writer) {
 		r.Fabric.Injected, r.Fabric.Delivered, r.Fabric.Dropped, r.Fabric.Duplicated,
 		r.Fabric.Reordered, r.Fabric.BytesWire)
 	fmt.Fprintf(w, "  wire overhead ratio: %.3f\n", r.WireOverheadRatio())
+	if r.Pool.Gets > 0 {
+		fmt.Fprintf(w, "  bufpool: gets=%d hits=%d (%.1f%%) puts=%d foreign=%d inflight=%d\n",
+			r.Pool.Gets, r.Pool.Hits, 100*float64(r.Pool.Hits)/float64(r.Pool.Gets),
+			r.Pool.Puts, r.Pool.Foreign, r.Pool.InFlight)
+		for _, cs := range r.PoolClasses {
+			hitPct := 0.0
+			if cs.Gets > 0 {
+				hitPct = 100 * float64(cs.Hits) / float64(cs.Gets)
+			}
+			fmt.Fprintf(w, "    class %7dB: gets=%d hits=%d (%.1f%%) puts=%d free=%d\n",
+				cs.Size, cs.Gets, cs.Hits, hitPct, cs.Puts, cs.Free)
+		}
+	}
 	for _, p := range r.Per {
 		fmt.Fprintf(w, "  node %d: hal sent=%d recvd=%d intr=%d fifoDrops=%d\n",
 			p.Node, p.HAL.PacketsSent, p.HAL.PacketsRecvd, p.Adapter.Interrupts, p.Adapter.FIFODrops)

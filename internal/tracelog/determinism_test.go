@@ -1,0 +1,100 @@
+package tracelog_test
+
+// Determinism guarantees of the tracing subsystem, tested through the real
+// benchmark cells (external test package: bench imports tracelog, so these
+// tests live outside the package to avoid the cycle):
+//
+//   - same (program, seed) => byte-identical exported trace;
+//   - tracediff of a run against itself reports no divergence;
+//   - a faulted run against a clean run diverges, and the report names a
+//     concrete first event;
+//   - the Chrome export round-trips the exact event stream.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"splapi/internal/bench"
+	"splapi/internal/machine"
+	"splapi/internal/tracelog"
+)
+
+// tracedCell runs the first fig10 cell with an event log attached.
+func tracedCell(t *testing.T, seed int64, mod bench.ParamMod) *tracelog.Log {
+	t.Helper()
+	e := bench.Fig10Experiment()
+	tl := tracelog.New(1 << 20)
+	e.Cells[0].Run(seed, mod, tl)
+	if tl.Len() == 0 {
+		t.Fatal("traced cell produced no events")
+	}
+	if tl.Dropped() != 0 {
+		t.Fatalf("ring overflowed: %d dropped", tl.Dropped())
+	}
+	return tl
+}
+
+func export(t *testing.T, tl *tracelog.Log) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tracelog.WriteChrome(&buf, tl); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestExportDeterministic: two runs of the same (program, seed) must
+// export byte-identical traces.
+func TestExportDeterministic(t *testing.T) {
+	a := export(t, tracedCell(t, 1, nil))
+	b := export(t, tracedCell(t, 1, nil))
+	if !bytes.Equal(a, b) {
+		t.Fatal("same (program, seed) exported different trace bytes")
+	}
+}
+
+// TestDiffSelfIdentical: a stream diffed against itself reports no
+// divergence (the tracediff exit-0 path).
+func TestDiffSelfIdentical(t *testing.T) {
+	tl := tracedCell(t, 1, nil)
+	if idx := tracelog.Diff(tl.Events(), tl.Events()); idx != -1 {
+		t.Fatalf("self-diff reported divergence at %d", idx)
+	}
+}
+
+// TestDropDivergesAndReports: a fault-injected run must diverge from the
+// clean run, and the report must point at a concrete first event.
+func TestDropDivergesAndReports(t *testing.T) {
+	clean := tracedCell(t, 1, nil)
+	faulted := tracedCell(t, 1, func(p *machine.Params) { p.DropProb = 0.25 })
+	idx := tracelog.Diff(clean.Events(), faulted.Events())
+	if idx < 0 {
+		t.Fatal("drop-injected run produced an identical trace")
+	}
+	var rep strings.Builder
+	tracelog.FormatDivergence(&rep, clean.Events(), faulted.Events(), idx, 3)
+	out := rep.String()
+	if !strings.Contains(out, "diverge at event") || !strings.Contains(out, "stream A") {
+		t.Fatalf("divergence report missing context:\n%s", out)
+	}
+}
+
+// TestChromeRoundTrip: ReadChrome(WriteChrome(l)) must reconstruct the
+// exact event stream.
+func TestChromeRoundTrip(t *testing.T) {
+	tl := tracedCell(t, 1, nil)
+	got, err := tracelog.ReadChrome(bytes.NewReader(export(t, tl)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tl.Events()
+	if len(got) != len(want) {
+		t.Fatalf("round trip changed event count: %d -> %d", len(want), len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d changed across round trip:\n%s\nvs\n%s", i, want[i], got[i])
+		}
+	}
+}
