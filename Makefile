@@ -1,6 +1,6 @@
 # Tier-1 verification, as run by CI (.github/workflows/ci.yml).
 
-.PHONY: verify build vet test lint tidy-check bench bench-smoke determinism-check trace-smoke
+.PHONY: verify build vet test lint tidy-check bench bench-smoke determinism-check trace-smoke chaos-smoke
 
 verify: build vet test lint tidy-check
 
@@ -56,3 +56,10 @@ trace-smoke:
 	go run ./cmd/spsim -exp fig10 -trace /tmp/trace_drop1.json -tracedrop 0.02 -traceseed 1
 	go run ./cmd/spsim -exp fig10 -trace /tmp/trace_drop2.json -tracedrop 0.02 -traceseed 2
 	go run ./cmd/tracediff /tmp/trace_drop1.json /tmp/trace_drop2.json; test $$? -eq 1
+
+# chaos-smoke runs the fault-injection acceptance harness on two scripted
+# plans x two seeds x every workload, gating on payload-exact MPI results,
+# completion without deadlock, bounded completion-time inflation, and
+# bit-identical same-seed reruns. Nonzero exit on any gate failure.
+chaos-smoke:
+	go run ./cmd/chaos -plans burst-loss,corruptor -seeds 2

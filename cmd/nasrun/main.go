@@ -7,6 +7,7 @@
 //	nasrun              # full suite, both stacks
 //	nasrun -bench CG    # one kernel
 //	nasrun -stack mpi-lapi-base -bench LU
+//	nasrun -bench CG -faults flappy-route -seed 3   # kernel on a faulted fabric
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	"splapi/internal/bench"
+	"splapi/internal/cliconf"
 	"splapi/internal/cluster"
 	"splapi/internal/nas"
 	"splapi/internal/tracelog"
@@ -35,14 +37,21 @@ func stackByName(name string) (cluster.Stack, error) {
 func main() {
 	benchName := flag.String("bench", "", "single kernel to run (EP, MG, CG, FT, IS, LU, SP, BT); empty runs the suite")
 	stackName := flag.String("stack", "", "single stack to run on (native, mpi-lapi-base, mpi-lapi-counters, mpi-lapi-enhanced); empty compares native vs enhanced")
+	mach := cliconf.Machine(flag.CommandLine)
+	seed := cliconf.Seed(flag.CommandLine)
 	traceOut := flag.String("trace", "", "write a Chrome trace-event file of the run (requires -bench and -stack)")
 	flag.Parse()
 
+	par, err := mach.PaperParams()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nasrun:", err)
+		os.Exit(2)
+	}
 	if *traceOut != "" && (*benchName == "" || *stackName == "") {
 		fmt.Fprintln(os.Stderr, "nasrun: -trace needs a single run; give both -bench and -stack")
 		os.Exit(2)
 	}
-	if *benchName == "" && *stackName == "" {
+	if *benchName == "" && *stackName == "" && mach.Faults.Spec() == "" && *seed == 1 && mach.Preset() == "sp332" {
 		bench.PrintNAS(os.Stdout)
 		return
 	}
@@ -72,7 +81,7 @@ func main() {
 	fmt.Printf("%-6s %-22s %14s %10s\n", "bench", "stack", "time(ms)", "verified")
 	for _, k := range kernels {
 		for _, s := range stacks {
-			res := bench.RunNASKernelTraced(k, s, tl)
+			res := bench.RunNASKernelOpts(k, s, par, *seed, tl)
 			fmt.Printf("%-6s %-22s %14.2f %10v\n", k.Name, s, float64(res.Time)/1e6, res.Verified)
 		}
 	}

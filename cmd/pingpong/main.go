@@ -7,6 +7,8 @@
 //	pingpong -stack mpi-lapi-base -size 4096
 //	pingpong -interrupts           # the Figure 13 interrupt-mode receiver
 //	pingpong -bw                   # bandwidth instead of latency
+//	pingpong -machine sp160        # the previous-generation node
+//	pingpong -faults burst-loss -seed 7    # scripted fault plan
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"os"
 
 	"splapi/internal/bench"
+	"splapi/internal/cliconf"
 	"splapi/internal/cluster"
 	"splapi/internal/tracelog"
 )
@@ -25,9 +28,16 @@ func main() {
 	interrupts := flag.Bool("interrupts", false, "interrupt-mode receiver (Figure 13 methodology)")
 	bw := flag.Bool("bw", false, "measure streaming bandwidth instead of latency")
 	count := flag.Int("count", 48, "messages per bandwidth measurement")
+	mach := cliconf.Machine(flag.CommandLine)
+	seed := cliconf.Seed(flag.CommandLine)
 	traceOut := flag.String("trace", "", "write a Chrome trace-event file of the run (requires -stack and -size)")
 	flag.Parse()
 
+	par, err := mach.PaperParams()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pingpong:", err)
+		os.Exit(2)
+	}
 	stacks := []cluster.Stack{cluster.Native, cluster.LAPIEnhanced}
 	if *stackName != "" {
 		found := false
@@ -69,11 +79,11 @@ func main() {
 			var v float64
 			switch {
 			case st == cluster.RawLAPI:
-				v = bench.RawLAPIPingPongTraced(sz, tl)
+				v = bench.RawLAPIPingPongOpts(sz, par, *seed, tl)
 			case *bw:
-				v = bench.MPIBandwidthTraced(st, sz, *count, tl)
+				v = bench.MPIBandwidthOpts(st, sz, *count, par, *seed, tl)
 			default:
-				v = bench.MPIPingPongTraced(st, sz, *interrupts, tl)
+				v = bench.MPIPingPongOpts(st, sz, *interrupts, par, *seed, tl)
 			}
 			fmt.Printf("  %22.2f", v)
 		}

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"splapi/internal/bench"
+	"splapi/internal/faults"
 	"splapi/internal/machine"
 	"splapi/internal/prof"
 	"splapi/internal/sweep"
@@ -29,7 +30,8 @@ func run() int {
 	jsonOut := flag.Bool("json", false, "additionally write BENCH_<exp>.json for registry experiments (single seed; use cmd/sweep for multi-seed)")
 	traceOut := flag.String("trace", "", "run the named registry experiment's first cell with event tracing and write a Chrome trace-event file (load in Perfetto)")
 	traceSeed := flag.Int64("traceseed", 1, "seed for the -trace run")
-	traceDrop := flag.Float64("tracedrop", 0, "fabric drop probability for the -trace run (a clean fabric consumes no randomness, so only faulted runs diverge across seeds)")
+	faultSpec := flag.String("faults", "", "fault plan for the -trace run: 'uniform:drop=P,dup=P,corrupt=P', a preset name, or '@plan.json' (a clean fabric consumes no randomness, so only faulted runs diverge across seeds)")
+	traceDrop := flag.Float64("tracedrop", 0, "deprecated: alias for -faults uniform:drop=P")
 	pf := prof.Flags()
 	flag.Parse()
 	stop, err := pf.Start()
@@ -116,9 +118,21 @@ func run() int {
 		}
 		c := e.Cells[0]
 		tl := tracelog.New(1 << 20)
+		if *faultSpec != "" && *traceDrop > 0 {
+			fmt.Fprintln(os.Stderr, "spsim: -faults cannot be combined with the deprecated -tracedrop alias")
+			return 2
+		}
+		plan, err := faults.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spsim:", err)
+			return 2
+		}
+		if plan.Empty() {
+			plan = faults.Uniform(*traceDrop, 0)
+		}
 		var mod bench.ParamMod
-		if *traceDrop > 0 {
-			mod = func(p *machine.Params) { p.DropProb = *traceDrop }
+		if !plan.Empty() {
+			mod = func(p *machine.Params) { p.Faults = plan }
 		}
 		c.Run(*traceSeed, mod, tl)
 		if err := tracelog.WriteChromeFile(*traceOut, tl); err != nil {

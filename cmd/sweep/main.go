@@ -5,7 +5,8 @@
 //
 //	sweep -exp fig10 -seeds 16 -par 8 -o BENCH_fig10.json
 //	sweep -exp all -seeds 8                  # every experiment, BENCH_<id>.json each
-//	sweep -exp fig12 -seeds 8 -drop 0.001    # fault-injected variant
+//	sweep -exp fig12 -seeds 8 -faults burst-loss      # scripted fault plan
+//	sweep -exp fig12 -seeds 8 -drop 0.001    # deprecated alias for -faults uniform:drop=0.001
 //	sweep -list                              # available experiments
 //	sweep -compare old.json new.json -tol 1  # flag >1% out-of-CI movements
 //
@@ -18,21 +19,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/exec"
-	"strings"
 
 	"splapi/internal/bench"
+	"splapi/internal/cliconf"
 	"splapi/internal/prof"
 	"splapi/internal/sweep"
 )
-
-func gitDescribe() string {
-	out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
-	if err != nil {
-		return "unknown"
-	}
-	return strings.TrimSpace(string(out))
-}
 
 func main() { os.Exit(run()) }
 
@@ -43,8 +35,7 @@ func run() int {
 		par      = flag.Int("par", 0, "worker-pool size (0 = GOMAXPROCS)")
 		baseSeed = flag.Int64("baseseed", 1, "base seed perturbing every derived seed")
 		out      = flag.String("o", "", "output file (default BENCH_<exp>.json)")
-		drop     = flag.Float64("drop", 0, "fabric drop probability override (matrix-level)")
-		dup      = flag.Float64("dup", 0, "fabric duplicate probability override (matrix-level)")
+		faultsFl = cliconf.Faults(flag.CommandLine)
 		list     = flag.Bool("list", false, "list available experiments and exit")
 		compare  = flag.Bool("compare", false, "compare two result files: sweep -compare old.json new.json")
 		traced   = flag.Bool("trace", false, "attach (and discard) an event log to every cell run; results must be identical to an untraced sweep")
@@ -121,12 +112,12 @@ func run() int {
 		}
 		exps = []bench.Experiment{e}
 	}
-	git := gitDescribe()
+	git := cliconf.GitDescribe()
 	for _, e := range exps {
 		opts := sweep.Options{
 			Seeds: *seeds, Par: *par, BaseSeed: *baseSeed,
-			DropProb: *drop, DupProb: *dup, GitDescribe: git,
-			Trace: *traced,
+			Faults: faultsFl.Raw(), DropProb: faultsFl.Drop(), DupProb: faultsFl.Dup(),
+			GitDescribe: git, Trace: *traced,
 		}
 		res, err := sweep.Run(e, opts)
 		if err != nil {

@@ -23,13 +23,13 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"os/exec"
 	"runtime"
 	"sort"
 	"strings"
 	"time"
 
 	"splapi/internal/bench"
+	"splapi/internal/cliconf"
 	"splapi/internal/cluster"
 	"splapi/internal/sim"
 )
@@ -177,14 +177,6 @@ func median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
-func gitDescribe() string {
-	out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
-	if err != nil {
-		return "unknown"
-	}
-	return strings.TrimSpace(string(out))
-}
-
 func main() {
 	var (
 		rounds     = flag.Int("rounds", 5, "rounds per benchmark (median is reported)")
@@ -203,7 +195,7 @@ func main() {
 	}
 	art := Artifact{
 		Schema:     "walltime/v1",
-		Git:        gitDescribe(),
+		Git:        cliconf.GitDescribe(),
 		Go:         runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Rounds:     *rounds,

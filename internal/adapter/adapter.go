@@ -14,6 +14,7 @@
 package adapter
 
 import (
+	"splapi/internal/faults"
 	"splapi/internal/machine"
 	"splapi/internal/sim"
 	"splapi/internal/switchnet"
@@ -26,6 +27,9 @@ type Stats struct {
 	Received   uint64
 	FIFODrops  uint64
 	Interrupts uint64
+	// StallDelays counts packets whose receive DMA was deferred by a
+	// scripted adapter stall (fault injection).
+	StallDelays uint64
 }
 
 // Adapter is one node's switch adapter.
@@ -33,6 +37,7 @@ type Adapter struct {
 	eng  *sim.Engine
 	par  *machine.Params
 	fab  *switchnet.Fabric
+	inj  *faults.Injector
 	node int
 
 	sendDMAFree sim.Time
@@ -54,7 +59,7 @@ type Adapter struct {
 
 // New creates the adapter for node and attaches it to the fabric's port.
 func New(eng *sim.Engine, par *machine.Params, fab *switchnet.Fabric, node int) *Adapter {
-	a := &Adapter{eng: eng, par: par, fab: fab, node: node, intrPrimed: true}
+	a := &Adapter{eng: eng, par: par, fab: fab, inj: fab.Injector(), node: node, intrPrimed: true}
 	fab.AttachPort(node, a.fromFabric)
 	return a
 }
@@ -104,6 +109,13 @@ func (a *Adapter) Send(pkt *switchnet.Packet) sim.Time {
 func (a *Adapter) fromFabric(pkt *switchnet.Packet) {
 	now := a.eng.Now()
 	start := now
+	if end := a.inj.StallUntil(now, a.node); end > start {
+		// Scripted fault: the receive DMA engine is frozen; the packet
+		// sits on the adapter until the stall window ends.
+		a.stats.StallDelays++
+		a.tr.Emit(now, tracelog.LAdapter, tracelog.KStall, a.node, pkt.Src, tracelog.PacketID(pkt.Seq()), pkt.Wire, int64(end-now))
+		start = end
+	}
 	if a.recvDMAFree > start {
 		start = a.recvDMAFree
 	}

@@ -73,9 +73,15 @@ func MPIPingPong(stack cluster.Stack, size int, interrupts bool) float64 {
 // cluster (nil tl means untraced; the timing result is identical either
 // way).
 func MPIPingPongTraced(stack cluster.Stack, size int, interrupts bool, tl *tracelog.Log) float64 {
-	par := paperParams()
+	return MPIPingPongOpts(stack, size, interrupts, paperParams(), 1, tl)
+}
+
+// MPIPingPongOpts is MPIPingPongTraced with an explicit cost model and seed
+// — the entry point the CLI and chaos testing use to run the ping-pong on a
+// non-default machine or a faulted fabric.
+func MPIPingPongOpts(stack cluster.Stack, size int, interrupts bool, par machine.Params, seed int64, tl *tracelog.Log) float64 {
 	c := cluster.New(cluster.Config{
-		Nodes: 2, Stack: stack, Seed: 1, Params: &par, Interrupts: interrupts, Trace: tl,
+		Nodes: 2, Stack: stack, Seed: seed, Params: &par, Interrupts: interrupts, Trace: tl,
 	})
 	return runPingPong(c, size, interrupts)
 }
@@ -137,8 +143,13 @@ func RawLAPIPingPong(size int) float64 {
 
 // RawLAPIPingPongTraced is RawLAPIPingPong with an event log attached.
 func RawLAPIPingPongTraced(size int, tl *tracelog.Log) float64 {
-	par := paperParams()
-	c := cluster.New(cluster.Config{Nodes: 2, Stack: cluster.RawLAPI, Seed: 1, Params: &par, Trace: tl})
+	return RawLAPIPingPongOpts(size, paperParams(), 1, tl)
+}
+
+// RawLAPIPingPongOpts is RawLAPIPingPongTraced with an explicit cost model
+// and seed.
+func RawLAPIPingPongOpts(size int, par machine.Params, seed int64, tl *tracelog.Log) float64 {
+	c := cluster.New(cluster.Config{Nodes: 2, Stack: cluster.RawLAPI, Seed: seed, Params: &par, Trace: tl})
 	return runRawLAPIPingPong(c, size)
 }
 
@@ -192,8 +203,13 @@ func MPIBandwidth(stack cluster.Stack, size, count int) float64 {
 
 // MPIBandwidthTraced is MPIBandwidth with an event log attached.
 func MPIBandwidthTraced(stack cluster.Stack, size, count int, tl *tracelog.Log) float64 {
-	par := paperParams()
-	c := cluster.New(cluster.Config{Nodes: 2, Stack: stack, Seed: 1, Params: &par, Trace: tl})
+	return MPIBandwidthOpts(stack, size, count, paperParams(), 1, tl)
+}
+
+// MPIBandwidthOpts is MPIBandwidthTraced with an explicit cost model and
+// seed.
+func MPIBandwidthOpts(stack cluster.Stack, size, count int, par machine.Params, seed int64, tl *tracelog.Log) float64 {
+	c := cluster.New(cluster.Config{Nodes: 2, Stack: stack, Seed: seed, Params: &par, Trace: tl})
 	return runBandwidth(c, size, count)
 }
 

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"splapi/internal/cluster"
+	"splapi/internal/machine"
 	"splapi/internal/mpci"
 	"splapi/internal/mpi"
 	"splapi/internal/nas"
@@ -37,8 +38,14 @@ func RunNASKernel(k nas.Kernel, stack cluster.Stack) NASResult {
 // cluster (nil tl means untraced). Tracing an LU run makes the wavefront
 // communication pattern visible as flow arrows in Perfetto.
 func RunNASKernelTraced(k nas.Kernel, stack cluster.Stack, tl *tracelog.Log) NASResult {
-	par := paperParams()
-	c := cluster.New(cluster.Config{Nodes: 4, Stack: stack, Seed: 1, Params: &par, Trace: tl})
+	return RunNASKernelOpts(k, stack, paperParams(), 1, tl)
+}
+
+// RunNASKernelOpts is RunNASKernelTraced with an explicit cost model and
+// seed — the entry point chaos testing uses to run kernels on a faulted
+// fabric.
+func RunNASKernelOpts(k nas.Kernel, stack cluster.Stack, par machine.Params, seed int64, tl *tracelog.Log) NASResult {
+	c := cluster.New(cluster.Config{Nodes: 4, Stack: stack, Seed: seed, Params: &par, Trace: tl})
 	var end sim.Time
 	var sum float64
 	ok := true

@@ -1,0 +1,49 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+
+	"splapi/internal/machine"
+)
+
+// TestHarnessGatesGreenOnPreset is the in-tree smoke: one preset, one
+// workload, one seed, all four gates.
+func TestHarnessGatesGreenOnPreset(t *testing.T) {
+	wl, err := WorkloadByName("pingpong-enhanced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{Plans: []string{"burst-loss"}, Seeds: []int64{1}, Workloads: []Workload{wl}, Git: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		data, _ := json.MarshalIndent(res, "", "  ")
+		t.Fatalf("burst-loss gate failed:\n%s", data)
+	}
+	rr := res.Plans[0].Runs[0]
+	if rr.Counters.Retransmits == 0 && rr.Counters.Timeouts == 0 {
+		t.Fatal("burst-loss run exercised no reliability machinery")
+	}
+}
+
+// TestHarnessRejectsEmptyPlan: gating a clean run against itself would be
+// vacuous, so the harness refuses.
+func TestHarnessRejectsEmptyPlan(t *testing.T) {
+	if _, err := Run(Options{Plans: []string{"none"}, Seeds: []int64{1}}); err == nil {
+		t.Fatal("empty plan must be rejected")
+	}
+}
+
+// TestWorkloadsDeterministicPerSeed: every workload must produce an
+// identical outcome when rerun with the same seed on a clean fabric.
+func TestWorkloadsDeterministicPerSeed(t *testing.T) {
+	for _, wl := range Workloads() {
+		a := wl.Run(machine.SP332(), 3)
+		b := wl.Run(machine.SP332(), 3)
+		if !a.Ok || a != b {
+			t.Fatalf("%s: same-seed clean reruns differ or failed: %+v vs %+v", wl.Name, a, b)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package cliconf
+
+import (
+	"flag"
+	"testing"
+
+	"splapi/internal/faults"
+)
+
+func newFS() *flag.FlagSet {
+	return flag.NewFlagSet("test", flag.ContinueOnError)
+}
+
+func TestFaultFlagsDefaultsToCleanFabric(t *testing.T) {
+	fs := newFS()
+	ff := Faults(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ff.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Empty() {
+		t.Fatalf("no flags should mean an empty plan, got %v", plan)
+	}
+	if ff.Spec() != "" {
+		t.Fatalf("Spec() = %q, want empty", ff.Spec())
+	}
+}
+
+func TestFaultFlagsDeprecatedAliases(t *testing.T) {
+	fs := newFS()
+	ff := Faults(fs)
+	if err := fs.Parse([]string{"-drop", "0.01", "-dup", "0.002"}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ff.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := faults.Uniform(0.01, 0.002)
+	if len(plan.Rules) != len(want.Rules) {
+		t.Fatalf("alias plan %v, want %v", plan, want)
+	}
+	if got := ff.Spec(); got != "uniform:drop=0.01,dup=0.002" {
+		t.Fatalf("Spec() = %q", got)
+	}
+}
+
+func TestFaultFlagsSpecAndAliasConflict(t *testing.T) {
+	fs := newFS()
+	ff := Faults(fs)
+	if err := fs.Parse([]string{"-faults", "burst-loss", "-drop", "0.01"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ff.Plan(); err == nil {
+		t.Fatal("combining -faults with -drop must error")
+	}
+}
+
+func TestFaultFlagsPreset(t *testing.T) {
+	fs := newFS()
+	ff := Faults(fs)
+	if err := fs.Parse([]string{"-faults", "burst-loss"}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ff.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Name != "burst-loss" || plan.Empty() {
+		t.Fatalf("preset plan = %v", plan)
+	}
+	if ff.Raw() != "burst-loss" || ff.Spec() != "burst-loss" {
+		t.Fatalf("Raw/Spec = %q/%q", ff.Raw(), ff.Spec())
+	}
+}
+
+func TestMachineFlags(t *testing.T) {
+	fs := newFS()
+	m := Machine(fs)
+	if err := fs.Parse([]string{"-machine", "sp160", "-faults", "corruptor"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Faults.Name != "corruptor" {
+		t.Fatalf("Params().Faults.Name = %q", p.Faults.Name)
+	}
+	pp, err := m.PaperParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.EagerLimit != 78 {
+		t.Fatalf("PaperParams().EagerLimit = %d, want 78", pp.EagerLimit)
+	}
+}
+
+func TestMachineFlagsUnknownPreset(t *testing.T) {
+	fs := newFS()
+	m := Machine(fs)
+	if err := fs.Parse([]string{"-machine", "sp9000"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Params(); err == nil {
+		t.Fatal("unknown machine preset must error")
+	}
+}
+
+func TestSeedDefault(t *testing.T) {
+	fs := newFS()
+	seed := Seed(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *seed != 1 {
+		t.Fatalf("default seed = %d, want 1", *seed)
+	}
+}
+
+func TestTraceFlags(t *testing.T) {
+	fs := newFS()
+	tr := Trace(fs, 1<<10)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Enabled() || tr.New() != nil {
+		t.Fatal("trace must be disabled by default and New() must return the nil sink")
+	}
+}

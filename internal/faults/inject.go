@@ -1,0 +1,146 @@
+package faults
+
+import "splapi/internal/sim"
+
+// Injector is a Plan compiled against one engine. The fabric and the
+// adapters query it at packet granularity; every probabilistic answer
+// draws from the engine's RNG stream, in rule order, so a (seed, plan)
+// pair fully determines a run.
+//
+// A nil *Injector is the clean fabric: every method returns its zero
+// answer immediately and consumes no randomness. NewInjector returns nil
+// for an empty plan so callers hold exactly one pointer test on the
+// fault-free fast path.
+type Injector struct {
+	eng     *sim.Engine
+	drop    []Rule
+	dup     []Rule
+	corrupt []Rule
+	down    []Rule
+	stall   []Rule
+}
+
+// NewInjector compiles plan against eng; it returns nil when the plan is
+// empty.
+func NewInjector(eng *sim.Engine, plan Plan) *Injector {
+	if plan.Empty() {
+		return nil
+	}
+	in := &Injector{eng: eng}
+	for _, r := range plan.Rules {
+		switch r.Kind {
+		case Drop:
+			in.drop = append(in.drop, r)
+		case Dup:
+			in.dup = append(in.dup, r)
+		case Corrupt:
+			in.corrupt = append(in.corrupt, r)
+		case LinkDown:
+			in.down = append(in.down, r)
+		case Stall:
+			in.stall = append(in.stall, r)
+		}
+	}
+	return in
+}
+
+// roll draws, in rule order, one uniform variate per active matching
+// rule until one hits. Fully sequential and window-gated, so the RNG
+// stream consumed is a pure function of (seed, plan, traffic).
+func (in *Injector) roll(rules []Rule, now sim.Time, src, dst int) bool {
+	for i := range rules {
+		r := &rules[i]
+		if r.Prob <= 0 || !r.matches(src, dst) || !r.activeAt(now) {
+			continue
+		}
+		if in.eng.Rand().Float64() < r.Prob {
+			return true
+		}
+	}
+	return false
+}
+
+// Drop reports whether the packet src->dst injected at now is lost.
+func (in *Injector) Drop(now sim.Time, src, dst int) bool {
+	if in == nil {
+		return false
+	}
+	return in.roll(in.drop, now, src, dst)
+}
+
+// Dup reports whether the packet src->dst injected at now is duplicated.
+func (in *Injector) Dup(now sim.Time, src, dst int) bool {
+	if in == nil {
+		return false
+	}
+	return in.roll(in.dup, now, src, dst)
+}
+
+// MayCorrupt reports whether the plan contains any corruption rules; the
+// fabric computes payload CRCs only when it does, keeping the
+// corruption-free path cost- and randomness-identical to the old fabric.
+func (in *Injector) MayCorrupt() bool {
+	return in != nil && len(in.corrupt) > 0
+}
+
+// Corrupt reports whether the packet src->dst injected at now has a
+// payload byte flipped in transit.
+func (in *Injector) Corrupt(now sim.Time, src, dst int) bool {
+	if in == nil {
+		return false
+	}
+	return in.roll(in.corrupt, now, src, dst)
+}
+
+// CorruptBytes flips one pseudo-randomly chosen byte of b in place and
+// returns its index (-1 when b is empty). The mutation happens between
+// the fabric's CRC stamp and delivery, so the HAL check must fail.
+func (in *Injector) CorruptBytes(b []byte) int {
+	if in == nil || len(b) == 0 {
+		return -1
+	}
+	i := in.eng.Rand().Intn(len(b))
+	b[i] ^= 0xA5
+	return i
+}
+
+// MasksRoutes reports whether the plan contains any linkdown rules; the
+// fabric consults RouteDown per packet only when it does.
+func (in *Injector) MasksRoutes() bool {
+	return in != nil && len(in.down) > 0
+}
+
+// RouteDown reports whether route route of the ordered pair src->dst is
+// out of service at now. Scripted: consumes no randomness.
+func (in *Injector) RouteDown(now sim.Time, src, dst, route int) bool {
+	if in == nil {
+		return false
+	}
+	for i := range in.down {
+		r := &in.down[i]
+		if r.matches(src, dst) && r.matchesRoute(route) && r.activeAt(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// StallUntil returns the virtual time at which node's receive DMA engine
+// unfreezes, or 0 when it is not stalled at now. With several
+// overlapping stall windows the latest end wins. Scripted: consumes no
+// randomness.
+func (in *Injector) StallUntil(now sim.Time, node int) sim.Time {
+	if in == nil {
+		return 0
+	}
+	var end sim.Time
+	for i := range in.stall {
+		r := &in.stall[i]
+		if (r.Dst == -1 || r.Dst == node) && r.activeAt(now) {
+			if e := r.windowEnd(now); e > end {
+				end = e
+			}
+		}
+	}
+	return end
+}

@@ -21,6 +21,7 @@ package hal
 
 import (
 	"fmt"
+	"hash/crc32"
 
 	"splapi/internal/adapter"
 	"splapi/internal/machine"
@@ -47,6 +48,11 @@ type Stats struct {
 	BytesSent    uint64
 	Polls        uint64
 	IntrBursts   uint64
+	// CorruptDrops counts packets discarded because their payload failed
+	// the link CRC check (fault-injected corruption, detected here
+	// rather than silently delivered). They never reach a protocol
+	// handler and are not counted in PacketsRecvd.
+	CorruptDrops uint64
 }
 
 // HAL is one node's packet layer.
@@ -190,6 +196,17 @@ func (h *HAL) Poll(p *sim.Proc) int {
 		pkt, ok := h.ad.Dequeue()
 		if !ok {
 			break
+		}
+		if pkt.Checked && crc32.ChecksumIEEE(pkt.Payload) != pkt.CRC {
+			// The fabric stamped a CRC at injection and a fault rule
+			// flipped a byte in transit: detect it here, at the packet
+			// layer boundary, and treat the packet as lost. The
+			// reliability layers above recover by retransmission.
+			h.stats.CorruptDrops++
+			h.tr.Emit(p.Now(), tracelog.LHAL, tracelog.KCrcDrop, h.node, pkt.Src, tracelog.PacketID(pkt.Seq()), len(pkt.Payload), 0)
+			//simlint:allow payloadretain ownership transfer: a corrupt packet dies here and its pooled snapshot returns to the engine pool
+			h.eng.Pool().Put(pkt.Payload)
+			continue
 		}
 		n++
 		h.dispatch(p, pkt.Src, pkt.Payload)

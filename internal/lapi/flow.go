@@ -43,6 +43,12 @@ type flow struct {
 	unacked  []flowPkt
 	rtxArmed bool
 	rtxTimer sim.Timer
+	// rto is the adaptive retransmission timeout: 0 means the base
+	// par.RetransmitTimeout; every expiry doubles it up to
+	// par.RetransmitMax (exponential backoff, so a long outage does not
+	// flood the fabric with go-back-N resends) and any cumulative-ack
+	// progress resets it to the base.
+	rto sim.Time
 
 	// Receiver state.
 	expected  uint64 // all seqs below this processed
@@ -101,16 +107,31 @@ func (f *flow) stampAck(buf []byte) {
 	f.sinceAck = 0
 }
 
+// curRTO returns the retransmission timeout currently in force.
+func (f *flow) curRTO() sim.Time {
+	if f.rto > 0 {
+		return f.rto
+	}
+	return f.l.par.RetransmitTimeout
+}
+
 func (f *flow) armRtx() {
 	if f.rtxArmed || len(f.unacked) == 0 {
 		return
 	}
 	f.rtxArmed = true
-	f.rtxTimer = f.l.eng.After(f.l.par.RetransmitTimeout, func() {
+	f.rtxTimer = f.l.eng.After(f.curRTO(), func() {
 		f.rtxArmed = false
 		if len(f.unacked) == 0 {
 			return
 		}
+		f.l.stats.Timeouts++
+		f.l.tr.Emit(f.l.eng.Now(), tracelog.LLAPI, tracelog.KFlowTimeout, f.l.node, f.peer, 0, len(f.unacked), int64(f.curRTO()))
+		next := f.curRTO() * 2
+		if max := f.l.par.RetransmitMax; max > 0 && next > max {
+			next = max
+		}
+		f.rto = next
 		f.l.requestResend(f.peer)
 	})
 }
@@ -136,6 +157,9 @@ func (f *flow) onAck(cum uint64) {
 		return
 	}
 	f.cumAcked = cum
+	// Ack progress: the path is alive again, so the backoff resets to
+	// the base timeout.
+	f.rto = 0
 	i := 0
 	for i < len(f.unacked) && f.unacked[i].seq < cum {
 		i++

@@ -1,0 +1,157 @@
+package lapi
+
+import (
+	"bytes"
+	"testing"
+
+	"splapi/internal/faults"
+	"splapi/internal/machine"
+	"splapi/internal/sim"
+)
+
+// flowFaultRun is everything a scripted-fault scenario produces; two runs
+// with the same seed and plan must compare equal field for field.
+type flowFaultRun struct {
+	vtime    sim.Time
+	stats0   Stats
+	stats1   Stats
+	received []byte
+	maxRTO   sim.Time
+	endRTO   sim.Time
+}
+
+// runFlowFault drives one Put of msgLen patterned bytes from node 0 to
+// node 1 under the given fault plan and returns the observable outcome.
+// sample, when non-zero, polls the sender flow's adaptive RTO at that
+// period so backoff growth is visible to assertions.
+func runFlowFault(t *testing.T, seed int64, plan faults.Plan, msgLen int, sample sim.Time, mut func(*machine.Params)) flowFaultRun {
+	t.Helper()
+	r := newRig(t, 2, seed, Inline, func(p *machine.Params) {
+		p.Faults = plan
+		if mut != nil {
+			mut(p)
+		}
+	})
+	dst := make([]byte, msgLen)
+	bufID := r.ls[1].RegisterBuffer(dst)
+	tgtC := r.ls[1].NewCounter()
+	tgtID := r.ls[1].RegisterCounter(tgtC)
+	cmplC := r.ls[0].NewCounter()
+	cmplID := r.ls[0].RegisterCounter(cmplC)
+	org := r.ls[0].NewCounter()
+	msg := pattern(msgLen, 7)
+	out := flowFaultRun{}
+	if sample > 0 {
+		r.eng.Spawn("rto-probe", func(p *sim.Proc) {
+			for {
+				if rto := r.ls[0].flows[1].rto; rto > out.maxRTO {
+					out.maxRTO = rto
+				}
+				p.Sleep(sample)
+			}
+		})
+	}
+	r.eng.Spawn("origin", func(p *sim.Proc) {
+		r.ls[0].Put(p, 1, bufID, 0, msg, tgtID, org, cmplID)
+		cmplC.Wait(p, 1)
+	})
+	r.eng.Spawn("target", func(p *sim.Proc) {
+		tgtC.Wait(p, 1)
+	})
+	r.eng.Run(sim.Second)
+	out.vtime = r.eng.Now()
+	out.stats0 = r.ls[0].Stats()
+	out.stats1 = r.ls[1].Stats()
+	out.received = append([]byte(nil), dst...)
+	out.endRTO = r.ls[0].flows[1].rto
+	if tgtC.Value() != 0 || cmplC.Value() != 0 {
+		t.Fatalf("Put did not complete before the horizon: tgt=%d cmpl=%d", tgtC.Value(), cmplC.Value())
+	}
+	if !bytes.Equal(out.received, msg) {
+		t.Fatal("payload corrupted by the faulted transport")
+	}
+	return out
+}
+
+// sameRun asserts two same-seed runs of one scenario are bit-identical:
+// virtual time, every protocol counter, and the delivered bytes.
+func sameRun(t *testing.T, a, b flowFaultRun) {
+	t.Helper()
+	if a.vtime != b.vtime {
+		t.Fatalf("same-seed reruns diverged in virtual time: %d vs %d", a.vtime, b.vtime)
+	}
+	if a.stats0 != b.stats0 || a.stats1 != b.stats1 {
+		t.Fatalf("same-seed reruns diverged in counters:\n%+v\n%+v\n%+v\n%+v", a.stats0, b.stats0, a.stats1, b.stats1)
+	}
+	if !bytes.Equal(a.received, b.received) {
+		t.Fatal("same-seed reruns delivered different bytes")
+	}
+}
+
+// TestFlowAckOfRetransmittedPacket scripts a drop burst that kills the
+// first transmission of every data packet: the message can only complete
+// via timeout-driven go-back-N retransmission, and the ack that releases
+// the sender's window acknowledges a retransmitted packet.
+func TestFlowAckOfRetransmittedPacket(t *testing.T) {
+	plan := faults.Plan{Name: "first-shot-loss", Rules: []faults.Rule{
+		{Kind: faults.Drop, From: 0, Until: 100 * sim.Microsecond, Src: 0, Dst: 1, Route: -1, Prob: 1},
+	}}
+	mut := func(p *machine.Params) { p.RetransmitTimeout = 300 * sim.Microsecond }
+	a := runFlowFault(t, 11, plan, 3000, 0, mut)
+	if a.stats0.Timeouts == 0 {
+		t.Fatal("drop burst produced no retransmission timeout")
+	}
+	if a.stats0.Retransmits == 0 {
+		t.Fatal("drop burst produced no go-back-N retransmission")
+	}
+	sameRun(t, a, runFlowFault(t, 11, plan, 3000, 0, mut))
+}
+
+// TestFlowDuplicateFilterAcrossRetransmitWindow drops the reverse path
+// (acks) while duplicating the forward path: the receiver processes the
+// original data packets, then sees both link-level duplicates and whole
+// retransmitted windows of already-processed sequence numbers. Every one
+// must be absorbed by the duplicate filter and re-acked, and the payload
+// must land exactly once, intact.
+func TestFlowDuplicateFilterAcrossRetransmitWindow(t *testing.T) {
+	plan := faults.Plan{Name: "dup-and-ack-loss", Rules: []faults.Rule{
+		{Kind: faults.Dup, From: 0, Until: 2 * sim.Millisecond, Src: 0, Dst: 1, Route: -1, Prob: 1},
+		{Kind: faults.Drop, From: 0, Until: 800 * sim.Microsecond, Src: 1, Dst: 0, Route: -1, Prob: 1},
+	}}
+	mut := func(p *machine.Params) { p.RetransmitTimeout = 300 * sim.Microsecond }
+	a := runFlowFault(t, 23, plan, 4000, 0, mut)
+	if a.stats1.DupsDropped == 0 {
+		t.Fatal("duplicate filter never fired despite dup injection and retransmitted windows")
+	}
+	if a.stats0.Retransmits == 0 {
+		t.Fatal("ack loss produced no retransmission")
+	}
+	sameRun(t, a, runFlowFault(t, 23, plan, 4000, 0, mut))
+}
+
+// TestFlowTimeoutBackoffGrowthAndReset blacks out the fabric in both
+// directions long enough for several timeouts: the adaptive RTO must
+// double from the base up to RetransmitMax (and no further), and the ack
+// that finally arrives once the blackout lifts must reset it to the base.
+func TestFlowTimeoutBackoffGrowthAndReset(t *testing.T) {
+	plan := faults.Plan{Name: "blackout", Rules: []faults.Rule{
+		{Kind: faults.Drop, From: 0, Until: 1500 * sim.Microsecond, Src: -1, Dst: -1, Route: -1, Prob: 1},
+	}}
+	const base = 100 * sim.Microsecond
+	const cap = 400 * sim.Microsecond
+	mut := func(p *machine.Params) {
+		p.RetransmitTimeout = base
+		p.RetransmitMax = cap
+	}
+	a := runFlowFault(t, 5, plan, 2000, 20*sim.Microsecond, mut)
+	if a.stats0.Timeouts < 3 {
+		t.Fatalf("blackout of 15x base RTO produced only %d timeouts", a.stats0.Timeouts)
+	}
+	if a.maxRTO != cap {
+		t.Fatalf("backoff peaked at %d, want the RetransmitMax cap %d", a.maxRTO, cap)
+	}
+	if a.endRTO != 0 {
+		t.Fatalf("RTO is %d after ack progress, want reset to 0 (base)", a.endRTO)
+	}
+	sameRun(t, a, runFlowFault(t, 5, plan, 2000, 20*sim.Microsecond, mut))
+}

@@ -95,6 +95,7 @@ type Stats struct {
 	AcksSent       uint64
 	AcksPiggyback  uint64
 	Retransmits    uint64
+	Timeouts       uint64
 	DupsDropped    uint64
 	WindowStalls   uint64
 	HdrHandlers    uint64

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"splapi/internal/adapter"
+	"splapi/internal/faults"
 	"splapi/internal/hal"
 	"splapi/internal/machine"
 	"splapi/internal/sim"
@@ -199,8 +200,7 @@ func TestRmwOps(t *testing.T) {
 
 func TestAmsendSurvivesLossDupReorder(t *testing.T) {
 	r := newRig(t, 2, 77, Inline, func(p *machine.Params) {
-		p.DropProb = 0.08
-		p.DupProb = 0.05
+		p.Faults = faults.Uniform(0.08, 0.05)
 		p.RouteSkew = 20 * sim.Microsecond
 		p.RetransmitTimeout = 400 * sim.Microsecond
 	})
@@ -339,7 +339,7 @@ func TestAmsendProperty(t *testing.T) {
 			v = Inline
 		}
 		r := newRig(t, 2, seed, v, func(p *machine.Params) {
-			p.DropProb = 0.04
+			p.Faults = faults.Uniform(0.04, 0)
 			p.RouteSkew = 10 * sim.Microsecond
 			p.RetransmitTimeout = 400 * sim.Microsecond
 		})

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"splapi/internal/faults"
 	"splapi/internal/machine"
 	"splapi/internal/sim"
 )
@@ -91,7 +92,7 @@ func TestGetvSelfLocal(t *testing.T) {
 
 func TestPutvUnderLoss(t *testing.T) {
 	r := newRig(t, 2, 31, Threaded, func(p *machine.Params) {
-		p.DropProb = 0.06
+		p.Faults = faults.Uniform(0.06, 0)
 		p.RetransmitTimeout = 400 * sim.Microsecond
 	})
 	dst := make([]byte, 64*1024)

@@ -8,7 +8,10 @@
 // the paper's qualitative shape, not its exact microseconds.
 package machine
 
-import "splapi/internal/sim"
+import (
+	"splapi/internal/faults"
+	"splapi/internal/sim"
+)
 
 // Params is the full cost model. All times are virtual nanoseconds
 // (sim.Time); all rates are expressed as ns-per-byte for convenience.
@@ -114,18 +117,27 @@ type Params struct {
 	// EarlyArrivalBytes is the per-task early-arrival buffer capacity.
 	EarlyArrivalBytes int
 	// RetransmitTimeout is the ack/retransmit timer for both reliable
-	// layers (Pipes and LAPI).
+	// layers (Pipes and LAPI). LAPI's flow layer treats it as the base
+	// of an adaptive timeout: each expiry doubles the timeout
+	// (exponential backoff) up to RetransmitMax, and any cumulative-ack
+	// progress resets it to this base.
 	RetransmitTimeout sim.Time
+	// RetransmitMax caps LAPI's adaptive retransmission backoff. Zero
+	// disables the cap (unbounded doubling).
+	RetransmitMax sim.Time
 	// AckDelay is how long a receiver may delay a standalone ack hoping
 	// to piggyback it.
 	AckDelay sim.Time
 
-	// ---- Fault injection (testing only; zero in benchmarks) ----
+	// ---- Fault injection (zero value = clean fabric) ----
 
-	// DropProb / DupProb are per-packet probabilities of the fabric
-	// dropping or duplicating a packet.
-	DropProb float64
-	DupProb  float64
+	// Faults is the scripted fault plan consumed by the fabric, the
+	// adapters and the HAL: time-windowed drop/dup/corrupt bursts,
+	// per-route link outages and adapter receive-DMA stalls. The empty
+	// plan is the clean fabric and consumes no engine randomness, so
+	// benchmark runs are bit-identical with or without the subsystem.
+	// Use faults.Uniform for the old flat DropProb/DupProb behaviour.
+	Faults faults.Plan
 }
 
 // SP332 returns the calibrated cost model for the paper's test system:
@@ -166,6 +178,7 @@ func SP332() Params {
 		PipeWindowBytes:       64 * 1024,
 		EarlyArrivalBytes:     1 << 20,
 		RetransmitTimeout:     2 * sim.Millisecond,
+		RetransmitMax:         32 * sim.Millisecond,
 		AckDelay:              100 * sim.Microsecond,
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"splapi/internal/cluster"
+	"splapi/internal/faults"
 	"splapi/internal/machine"
 	"splapi/internal/mpci"
 	"splapi/internal/sim"
@@ -14,8 +15,7 @@ import (
 // reordering at once.
 func faultParams() func(*machine.Params) {
 	return func(p *machine.Params) {
-		p.DropProb = 0.06
-		p.DupProb = 0.04
+		p.Faults = faults.Uniform(0.06, 0.04)
 		p.RouteSkew = 25 * sim.Microsecond
 		p.RetransmitTimeout = 400 * sim.Microsecond
 		p.EagerLimit = 78

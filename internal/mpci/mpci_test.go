@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"splapi/internal/cluster"
+	"splapi/internal/faults"
 	"splapi/internal/machine"
 	"splapi/internal/mpci"
 	"splapi/internal/sim"
@@ -347,8 +348,7 @@ func TestContextSeparation(t *testing.T) {
 func TestManyMessagesUnderLoss(t *testing.T) {
 	forStacks(t, func(t *testing.T, stack cluster.Stack) {
 		c := build(t, stack, 2, 99, func(p *machine.Params) {
-			p.DropProb = 0.05
-			p.DupProb = 0.03
+			p.Faults = faults.Uniform(0.05, 0.03)
 			p.RouteSkew = 15 * sim.Microsecond
 			p.RetransmitTimeout = 400 * sim.Microsecond
 			p.EagerLimit = 78

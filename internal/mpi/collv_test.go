@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"splapi/internal/cluster"
+	"splapi/internal/faults"
 	"splapi/internal/machine"
 	"splapi/internal/mpi"
 	"splapi/internal/sim"
@@ -144,7 +145,7 @@ func TestCollectivesUnderLoss(t *testing.T) {
 func paperLossy() machine.Params {
 	par := machine.SP332()
 	par.EagerLimit = 78
-	par.DropProb = 0.05
+	par.Faults = faults.Uniform(0.05, 0)
 	par.RetransmitTimeout = 400 * sim.Microsecond
 	return par
 }

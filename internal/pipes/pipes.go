@@ -52,6 +52,7 @@ type Stats struct {
 	AcksPiggyback uint64
 	AcksRecvd     uint64
 	Retransmits   uint64
+	Timeouts      uint64
 	DupsDropped   uint64
 	OutOfOrder    uint64
 	WindowStalls  uint64
@@ -263,6 +264,7 @@ func (pp *Pipes) armRtx(sp *sendPipe) {
 		if len(sp.unacked) == 0 {
 			return
 		}
+		pp.stats.Timeouts++
 		pp.resendFlags[sp.dst] = true
 		pp.svcCond.Broadcast()
 	})

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"splapi/internal/adapter"
+	"splapi/internal/faults"
 	"splapi/internal/hal"
 	"splapi/internal/machine"
 	"splapi/internal/sim"
@@ -70,8 +71,7 @@ func TestStreamInOrderDelivery(t *testing.T) {
 
 func TestStreamSurvivesLossAndDup(t *testing.T) {
 	r := newRig(t, 2, 42, func(p *machine.Params) {
-		p.DropProb = 0.08
-		p.DupProb = 0.05
+		p.Faults = faults.Uniform(0.08, 0.05)
 		p.RetransmitTimeout = 300 * sim.Microsecond
 	})
 	msg := pattern(50000, 9)
@@ -212,8 +212,7 @@ func TestStreamProperty(t *testing.T) {
 			msg = append(msg, pattern(int(s)%3000+1, byte(i))...)
 		}
 		r := newRig(t, 2, seed, func(p *machine.Params) {
-			p.DropProb = 0.05
-			p.DupProb = 0.03
+			p.Faults = faults.Uniform(0.05, 0.03)
 			p.RouteSkew = 5 * sim.Microsecond
 			p.RetransmitTimeout = 300 * sim.Microsecond
 		})
@@ -277,7 +276,7 @@ func TestPiggybackAcksReduceStandalone(t *testing.T) {
 
 func TestPiggybackAckCorrectUnderLoss(t *testing.T) {
 	r := newRig(t, 2, 14, func(p *machine.Params) {
-		p.DropProb = 0.07
+		p.Faults = faults.Uniform(0.07, 0)
 		p.RetransmitTimeout = 300 * sim.Microsecond
 	})
 	a, b := pattern(30000, 1), pattern(25000, 2)

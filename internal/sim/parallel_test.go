@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"splapi/internal/cluster"
+	"splapi/internal/faults"
 	"splapi/internal/machine"
 	"splapi/internal/mpci"
 	"splapi/internal/mpi"
@@ -27,7 +28,7 @@ import (
 func pingRing(stack cluster.Stack, seed int64, drop float64) sim.Time {
 	par := machine.SP332()
 	par.EagerLimit = 78
-	par.DropProb = drop
+	par.Faults = faults.Uniform(drop, 0)
 	c := cluster.New(cluster.Config{Nodes: 4, Stack: stack, Seed: seed, Params: &par})
 	return c.RunMPI(0, func(p *sim.Proc, prov mpci.Provider) {
 		w := mpi.NewWorld(prov)

@@ -17,5 +17,6 @@ func TestPayloadretain(t *testing.T) {
 		"payloadretain/hal",       // every retention shape + copy idioms
 		"payloadretain/adapter",   // BufPool.Put ownership transfer vs caller-owned bytes
 		"payloadretain/tracelog",  // a trace event retaining payload bytes (scalars only!)
+		"payloadretain/faults",    // injector mutates in place; retention or pooling flagged
 	)
 }

@@ -178,6 +178,10 @@ var simDomain = map[string]bool{
 	"cluster":   true,
 	"nas":       true,
 	"tracelog":  true,
+	// faults runs inside the fabric/adapter hot paths and draws all its
+	// randomness from the engine RNG; wall-clock or global-rand use there
+	// would break scripted-plan determinism.
+	"faults": true,
 }
 
 // injectionBoundary names the packages where caller-owned payload bytes
@@ -191,6 +195,9 @@ var injectionBoundary = map[string]bool{
 	// record that retained the bytes instead of scalars would be the PR 1
 	// aliasing bug wearing an observability costume.
 	"tracelog": true,
+	// faults mutates in-flight payloads (CorruptBytes) and must never
+	// retain or pool-return bytes it does not own.
+	"faults": true,
 }
 
 // InSimDomain reports whether pkgPath is a simulation-domain package.

@@ -49,7 +49,7 @@ func TestAnalyzerScoping(t *testing.T) {
 		"splapi/internal/sim", "splapi/internal/switchnet", "splapi/internal/adapter",
 		"splapi/internal/hal", "splapi/internal/lapi", "splapi/internal/pipes",
 		"splapi/internal/mpci", "splapi/internal/mpi", "splapi/internal/cluster",
-		"splapi/internal/nas",
+		"splapi/internal/nas", "splapi/internal/faults",
 	} {
 		if !simlint.InSimDomain(p) {
 			t.Errorf("InSimDomain(%q) = false, want true", p)
@@ -67,7 +67,7 @@ func TestAnalyzerScoping(t *testing.T) {
 	}
 	for _, p := range []string{
 		"splapi/internal/switchnet", "splapi/internal/adapter",
-		"splapi/internal/hal", "splapi/internal/lapi",
+		"splapi/internal/hal", "splapi/internal/lapi", "splapi/internal/faults",
 	} {
 		if !simlint.InInjectionBoundary(p) {
 			t.Errorf("InInjectionBoundary(%q) = false, want true", p)

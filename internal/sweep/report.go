@@ -10,7 +10,10 @@ import (
 // the run's cost line (virtual seconds simulated, wall-clock, pool size).
 func (r *Result) Print(w io.Writer) {
 	fmt.Fprintf(w, "%s  [%s, %d seed(s), base %d]\n", r.Title, r.Unit, r.Seeds, r.BaseSeed)
-	if r.Overrides.DropProb > 0 || r.Overrides.DupProb > 0 {
+	switch {
+	case r.Overrides.Faults != "":
+		fmt.Fprintf(w, "  fault injection: %s\n", r.Overrides.Faults)
+	case r.Overrides.DropProb > 0 || r.Overrides.DupProb > 0:
 		fmt.Fprintf(w, "  fault injection: drop=%.3g dup=%.3g\n", r.Overrides.DropProb, r.Overrides.DupProb)
 	}
 	fmt.Fprintf(w, "%-28s %10s %12s %12s %12s %10s %12s\n",

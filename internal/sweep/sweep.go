@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"splapi/internal/bench"
+	"splapi/internal/faults"
 	"splapi/internal/machine"
 	"splapi/internal/trace"
 	"splapi/internal/tracelog"
@@ -43,11 +44,16 @@ type Options struct {
 	// BaseSeed perturbs every derived seed, giving a fresh family of
 	// repetitions (default 1).
 	BaseSeed int64
-	// DropProb / DupProb are matrix-level machine-parameter overrides
-	// applied to every cell: fabric fault injection. On a clean fabric the
-	// simulator is deterministic per seed and the dispersion statistics
-	// collapse to a point; with faults enabled the seed list yields a real
-	// distribution.
+	// Faults is a matrix-level fault-plan spec (see faults.Parse: "none",
+	// "uniform:drop=P,dup=P,corrupt=P", a preset name, or "@file.json")
+	// applied to every cell. On a clean fabric the simulator is
+	// deterministic per seed and the dispersion statistics collapse to a
+	// point; with faults enabled the seed list yields a real distribution.
+	Faults string
+	// DropProb / DupProb are the deprecated flat-probability overrides,
+	// kept so old call sites keep working: they are shorthand for
+	// Faults = "uniform:drop=DropProb,dup=DupProb" and must not be
+	// combined with an explicit Faults spec.
 	DropProb float64
 	DupProb  float64
 	// GitDescribe is recorded in the result for provenance (the CLI fills
@@ -72,6 +78,16 @@ type TraceCounters struct {
 	Duplicated  uint64 `json:"duplicated"`
 	Reordered   uint64 `json:"reordered"`
 	BytesWire   uint64 `json:"bytesWire"`
+	// Reliability counters (all zero on a clean fabric; omitted from the
+	// JSON then, so fault-free artifacts are byte-identical to ones
+	// written before these fields existed).
+	Timeouts     uint64 `json:"timeouts,omitempty"`
+	Corrupted    uint64 `json:"corrupted,omitempty"`
+	CorruptDrops uint64 `json:"corruptDrops,omitempty"`
+	RouteMasked  uint64 `json:"routeMasked,omitempty"`
+	NoRouteDrops uint64 `json:"noRouteDrops,omitempty"`
+	StallDelays  uint64 `json:"stallDelays,omitempty"`
+	FIFODrops    uint64 `json:"fifoDrops,omitempty"`
 }
 
 func countersOf(r *trace.Report) TraceCounters {
@@ -79,14 +95,21 @@ func countersOf(r *trace.Report) TraceCounters {
 		return TraceCounters{}
 	}
 	return TraceCounters{
-		PacketsSent: r.TotalPacketsSent(),
-		Retransmits: r.TotalRetransmits(),
-		Injected:    r.Fabric.Injected,
-		Delivered:   r.Fabric.Delivered,
-		Dropped:     r.Fabric.Dropped,
-		Duplicated:  r.Fabric.Duplicated,
-		Reordered:   r.Fabric.Reordered,
-		BytesWire:   r.Fabric.BytesWire,
+		PacketsSent:  r.TotalPacketsSent(),
+		Retransmits:  r.TotalRetransmits(),
+		Injected:     r.Fabric.Injected,
+		Delivered:    r.Fabric.Delivered,
+		Dropped:      r.Fabric.Dropped,
+		Duplicated:   r.Fabric.Duplicated,
+		Reordered:    r.Fabric.Reordered,
+		BytesWire:    r.Fabric.BytesWire,
+		Timeouts:     r.TotalTimeouts(),
+		Corrupted:    r.Fabric.Corrupted,
+		CorruptDrops: r.TotalCorruptDrops(),
+		RouteMasked:  r.Fabric.RouteMasked,
+		NoRouteDrops: r.Fabric.NoRouteDrops,
+		StallDelays:  r.TotalStallDelays(),
+		FIFODrops:    r.TotalFIFODrops(),
 	}
 }
 
@@ -106,6 +129,9 @@ type PointResult struct {
 type Overrides struct {
 	DropProb float64 `json:"dropProb"`
 	DupProb  float64 `json:"dupProb"`
+	// Faults is the fault-plan spec the sweep ran under ("" = clean
+	// fabric; omitted then, keeping fault-free artifacts byte-identical).
+	Faults string `json:"faults,omitempty"`
 }
 
 // Result is the persisted outcome of sweeping one experiment. Every field
@@ -153,12 +179,19 @@ func Run(e bench.Experiment, o Options) (*Result, error) {
 	if base == 0 {
 		base = 1
 	}
+	if o.Faults != "" && (o.DropProb > 0 || o.DupProb > 0) {
+		return nil, fmt.Errorf("sweep: Faults spec and DropProb/DupProb overrides are mutually exclusive")
+	}
+	plan, err := faults.Parse(o.Faults)
+	if err != nil {
+		return nil, err
+	}
+	if plan.Empty() {
+		plan = faults.Uniform(o.DropProb, o.DupProb)
+	}
 	var mod bench.ParamMod
-	if o.DropProb > 0 || o.DupProb > 0 {
-		mod = func(p *machine.Params) {
-			p.DropProb = o.DropProb
-			p.DupProb = o.DupProb
-		}
+	if !plan.Empty() {
+		mod = func(p *machine.Params) { p.Faults = plan }
 	}
 
 	// One slot per (cell, repetition): workers write only their own slot,
@@ -220,7 +253,7 @@ func Run(e bench.Experiment, o Options) (*Result, error) {
 		GitDescribe: o.GitDescribe,
 		Seeds:       seeds,
 		BaseSeed:    base,
-		Overrides:   Overrides{DropProb: o.DropProb, DupProb: o.DupProb},
+		Overrides:   Overrides{DropProb: o.DropProb, DupProb: o.DupProb, Faults: o.Faults},
 		WallClock:   time.Since(start),
 		Par:         par,
 	}

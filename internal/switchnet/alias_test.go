@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"splapi/internal/faults"
 	"splapi/internal/machine"
 	"splapi/internal/sim"
 )
@@ -107,7 +108,7 @@ func TestInFlightPayloadImmutableAfterSendReturns(t *testing.T) {
 func TestDupPayloadSnapshotUnderFaultInjection(t *testing.T) {
 	e := sim.NewEngine(3)
 	par := machine.SP332()
-	par.DupProb = 1.0
+	par.Faults = faults.Uniform(0, 1.0)
 	f := New(e, &par, 2)
 
 	original := []byte{9, 8, 7, 6, 5}

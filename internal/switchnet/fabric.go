@@ -10,8 +10,9 @@
 //     reassemble by offset;
 //   - finite bandwidth: each packet occupies its route for its serialization
 //     time;
-//   - optional fault injection (drop/duplicate) for exercising the
-//     reliability layers.
+//   - scripted fault injection (internal/faults): time-windowed drop,
+//     duplicate and corrupt bursts, plus per-route link outages with
+//     failover onto the surviving routes.
 //
 // The fabric itself is unreliable and unordered; reliability is the job of
 // the Pipes layer (native stack) and of LAPI's transport (new stack),
@@ -20,7 +21,9 @@ package switchnet
 
 import (
 	"fmt"
+	"hash/crc32"
 
+	"splapi/internal/faults"
 	"splapi/internal/machine"
 	"splapi/internal/sim"
 	"splapi/internal/tracelog"
@@ -35,6 +38,14 @@ type Packet struct {
 	Wire     int
 	// Route is filled in by the fabric for observability.
 	Route int
+	// CRC is the payload checksum the fabric stamps at injection when the
+	// fault plan may corrupt packets; Checked marks it valid. The HAL
+	// verifies it before dispatch so in-transit corruption is detected,
+	// never silently delivered. Both live only in the simulator's packet
+	// record — the real link CRC is part of LinkFrameBytes, so modelling
+	// it adds no wire bytes and moves no virtual-time result.
+	CRC     uint32
+	Checked bool
 	// seq is a global injection sequence number used for reorder stats.
 	seq uint64
 }
@@ -57,6 +68,15 @@ type Stats struct {
 	// than an earlier delivery for the same ordered pair.
 	Reordered uint64
 	BytesWire uint64
+	// Corrupted counts packets whose payload the fault plan flipped a
+	// byte of (they still transit; the HAL CRC check drops them).
+	Corrupted uint64
+	// RouteMasked counts failovers: a packet's round-robin route was down
+	// and the fabric advanced to the next one.
+	RouteMasked uint64
+	// NoRouteDrops counts packets dropped because every route of their
+	// pair was down (included in Dropped).
+	NoRouteDrops uint64
 }
 
 type route struct {
@@ -76,6 +96,7 @@ type pair struct {
 type Fabric struct {
 	eng     *sim.Engine
 	par     *machine.Params
+	inj     *faults.Injector
 	n       int
 	deliver []func(*Packet)
 	pairs   map[[2]int]*pair
@@ -84,7 +105,9 @@ type Fabric struct {
 	tr      *tracelog.Log
 }
 
-// New creates a fabric with n ports using the given cost model.
+// New creates a fabric with n ports using the given cost model. The
+// fault plan on par compiles into the fabric's injector here; an empty
+// plan costs one nil test per packet.
 func New(eng *sim.Engine, par *machine.Params, n int) *Fabric {
 	if n < 1 {
 		panic("switchnet: need at least one port")
@@ -92,11 +115,16 @@ func New(eng *sim.Engine, par *machine.Params, n int) *Fabric {
 	return &Fabric{
 		eng:     eng,
 		par:     par,
+		inj:     faults.NewInjector(eng, par.Faults),
 		n:       n,
 		deliver: make([]func(*Packet), n),
 		pairs:   make(map[[2]int]*pair),
 	}
 }
+
+// Injector exposes the compiled fault injector (nil for a clean fabric)
+// so the adapters share the same script.
+func (f *Fabric) Injector() *faults.Injector { return f.inj }
 
 // Ports returns the number of ports.
 func (f *Fabric) Ports() int { return f.n }
@@ -158,21 +186,43 @@ func (f *Fabric) Send(pkt *Packet, ready sim.Time) {
 	f.stats.BytesWire += uint64(pkt.Wire)
 	f.tr.Emit(f.eng.Now(), tracelog.LFabric, tracelog.KInject, pkt.Src, pkt.Dst, tracelog.PacketID(pkt.seq), pkt.Wire, 0)
 
-	if f.par.DropProb > 0 && f.eng.Rand().Float64() < f.par.DropProb {
+	now := f.eng.Now()
+	if f.inj.Drop(now, pkt.Src, pkt.Dst) {
 		f.stats.Dropped++
-		f.tr.Emit(f.eng.Now(), tracelog.LFabric, tracelog.KDrop, pkt.Src, pkt.Dst, tracelog.PacketID(pkt.seq), pkt.Wire, 0)
+		f.tr.Emit(now, tracelog.LFabric, tracelog.KDrop, pkt.Src, pkt.Dst, tracelog.PacketID(pkt.seq), pkt.Wire, 0)
 		f.eng.Pool().Put(pkt.Payload)
 		return
 	}
 
-	f.transit(pkt, ready)
+	if f.inj.MayCorrupt() {
+		// Stamp the link CRC before corruption can strike, so the HAL
+		// check fails on exactly the packets the plan damaged.
+		pkt.CRC = crc32.ChecksumIEEE(pkt.Payload)
+		pkt.Checked = true
+		if f.inj.Corrupt(now, pkt.Src, pkt.Dst) {
+			idx := f.inj.CorruptBytes(pkt.Payload)
+			f.stats.Corrupted++
+			f.tr.Emit(now, tracelog.LFabric, tracelog.KCorrupt, pkt.Src, pkt.Dst, tracelog.PacketID(pkt.seq), pkt.Wire, int64(idx))
+		}
+	}
 
-	if f.par.DupProb > 0 && f.eng.Rand().Float64() < f.par.DupProb {
+	// The duplicate decision and its snapshot both happen before the
+	// first transit: transit consumes no randomness (so the RNG stream
+	// order matches the retired DropProb/DupProb fabric), but it may
+	// drop the packet when every route is down, returning the payload to
+	// the pool — the duplicate must copy the bytes while they are alive.
+	var dup *Packet
+	if f.inj.Dup(now, pkt.Src, pkt.Dst) {
 		f.stats.Duplicated++
-		f.tr.Emit(f.eng.Now(), tracelog.LFabric, tracelog.KDup, pkt.Src, pkt.Dst, tracelog.PacketID(pkt.seq), pkt.Wire, 0)
+		f.tr.Emit(now, tracelog.LFabric, tracelog.KDup, pkt.Src, pkt.Dst, tracelog.PacketID(pkt.seq), pkt.Wire, 0)
 		// The duplicate carries its own copy of the snapshot so the two
 		// deliveries never alias each other's bytes.
-		dup := &Packet{Src: pkt.Src, Dst: pkt.Dst, Payload: f.eng.Pool().Snapshot(pkt.Payload), Wire: pkt.Wire, seq: pkt.seq}
+		dup = &Packet{Src: pkt.Src, Dst: pkt.Dst, Payload: f.eng.Pool().Snapshot(pkt.Payload), Wire: pkt.Wire, CRC: pkt.CRC, Checked: pkt.Checked, seq: pkt.seq}
+	}
+
+	f.transit(pkt, ready)
+
+	if dup != nil {
 		// The duplicate takes another trip slightly later, as if
 		// retransmitted by a confused link-level retry.
 		f.transit(dup, ready+f.par.SwitchBaseLatency)
@@ -186,7 +236,27 @@ func (f *Fabric) transit(pkt *Packet, ready sim.Time) {
 	}
 	ps := f.pairState(pkt.Src, pkt.Dst)
 	r := ps.nextRoute
-	ps.nextRoute = (ps.nextRoute + 1) % len(ps.routes)
+	if f.inj.MasksRoutes() {
+		// Failover: skip routes scripted down, keeping round-robin order
+		// over the survivors. With every route down the packet has
+		// nowhere to go and the switch discards it.
+		skipped := 0
+		for skipped < len(ps.routes) && f.inj.RouteDown(now, pkt.Src, pkt.Dst, r) {
+			f.stats.RouteMasked++
+			f.tr.Emit(now, tracelog.LFabric, tracelog.KRouteMask, pkt.Src, pkt.Dst, tracelog.PacketID(pkt.seq), pkt.Wire, int64(r))
+			r = (r + 1) % len(ps.routes)
+			skipped++
+		}
+		if skipped == len(ps.routes) {
+			f.stats.Dropped++
+			f.stats.NoRouteDrops++
+			f.tr.Emit(now, tracelog.LFabric, tracelog.KNoRoute, pkt.Src, pkt.Dst, tracelog.PacketID(pkt.seq), pkt.Wire, int64(len(ps.routes)))
+			//simlint:allow payloadretain ownership transfer: the in-flight packet owns the snapshot Send took, and a no-route drop is its delivery point
+			f.eng.Pool().Put(pkt.Payload)
+			return
+		}
+	}
+	ps.nextRoute = (r + 1) % len(ps.routes)
 	pkt.Route = r
 
 	rt := &ps.routes[r]

@@ -3,6 +3,7 @@ package switchnet
 import (
 	"testing"
 
+	"splapi/internal/faults"
 	"splapi/internal/machine"
 	"splapi/internal/sim"
 )
@@ -92,7 +93,7 @@ func TestRouteOccupancySerializes(t *testing.T) {
 func TestDropInjection(t *testing.T) {
 	e := sim.NewEngine(7)
 	par := testParams()
-	par.DropProb = 0.5
+	par.Faults = faults.Uniform(0.5, 0)
 	f := New(e, &par, 2)
 	delivered := 0
 	f.AttachPort(0, nil)
@@ -119,7 +120,7 @@ func TestDropInjection(t *testing.T) {
 func TestDupInjection(t *testing.T) {
 	e := sim.NewEngine(7)
 	par := testParams()
-	par.DupProb = 1.0
+	par.Faults = faults.Uniform(0, 1.0)
 	f := New(e, &par, 2)
 	delivered := 0
 	f.AttachPort(0, nil)
@@ -142,7 +143,7 @@ func TestDeterministicDeliveryTimes(t *testing.T) {
 	run := func() []sim.Time {
 		e := sim.NewEngine(99)
 		par := testParams()
-		par.DropProb = 0.1
+		par.Faults = faults.Uniform(0.1, 0)
 		f := New(e, &par, 2)
 		var ts []sim.Time
 		f.AttachPort(0, nil)

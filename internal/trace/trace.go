@@ -95,6 +95,47 @@ func (r *Report) TotalRetransmits() uint64 {
 	return n
 }
 
+// TotalTimeouts sums retransmission-timer expiries across nodes.
+func (r *Report) TotalTimeouts() uint64 {
+	var n uint64
+	for _, p := range r.Per {
+		if p.Pipes != nil {
+			n += p.Pipes.Timeouts
+		}
+		if p.LAPI != nil {
+			n += p.LAPI.Timeouts
+		}
+	}
+	return n
+}
+
+// TotalCorruptDrops sums packets the HAL CRC check rejected across nodes.
+func (r *Report) TotalCorruptDrops() uint64 {
+	var n uint64
+	for _, p := range r.Per {
+		n += p.HAL.CorruptDrops
+	}
+	return n
+}
+
+// TotalStallDelays sums packets delayed by scripted adapter stalls.
+func (r *Report) TotalStallDelays() uint64 {
+	var n uint64
+	for _, p := range r.Per {
+		n += p.Adapter.StallDelays
+	}
+	return n
+}
+
+// TotalFIFODrops sums adapter receive-FIFO overflow drops across nodes.
+func (r *Report) TotalFIFODrops() uint64 {
+	var n uint64
+	for _, p := range r.Per {
+		n += p.Adapter.FIFODrops
+	}
+	return n
+}
+
 // WireOverheadRatio is bytes-on-wire divided by application payload
 // delivered (1.0 would be a perfect, overhead-free transport).
 func (r *Report) WireOverheadRatio() float64 {
@@ -131,8 +172,17 @@ func (r *Report) Consistent() error {
 		return fmt.Errorf("adapters received %d + dropped %d != fabric delivered %d",
 			adapterRecv, fifoDrops, f.Delivered)
 	}
-	if halRecv > adapterRecv {
-		return fmt.Errorf("HAL dispatched %d > adapters received %d", halRecv, adapterRecv)
+	var crcDrops uint64
+	for _, p := range r.Per {
+		crcDrops += p.HAL.CorruptDrops
+	}
+	if halRecv+crcDrops > adapterRecv {
+		return fmt.Errorf("HAL dispatched %d + CRC-dropped %d > adapters received %d",
+			halRecv, crcDrops, adapterRecv)
+	}
+	if crcDrops > f.Corrupted+f.Duplicated {
+		return fmt.Errorf("HAL CRC-dropped %d > fabric corrupted %d + duplicated %d",
+			crcDrops, f.Corrupted, f.Duplicated)
 	}
 	return nil
 }
@@ -143,6 +193,12 @@ func (r *Report) Print(w io.Writer) {
 	fmt.Fprintf(w, "  fabric: injected=%d delivered=%d dropped=%d dup=%d reordered=%d wire=%dB\n",
 		r.Fabric.Injected, r.Fabric.Delivered, r.Fabric.Dropped, r.Fabric.Duplicated,
 		r.Fabric.Reordered, r.Fabric.BytesWire)
+	if r.Fabric.Corrupted+r.Fabric.RouteMasked+r.Fabric.NoRouteDrops+
+		r.TotalCorruptDrops()+r.TotalStallDelays()+r.TotalTimeouts() > 0 {
+		fmt.Fprintf(w, "  faults: corrupted=%d crcDrops=%d routeMasked=%d noRoute=%d stalls=%d timeouts=%d\n",
+			r.Fabric.Corrupted, r.TotalCorruptDrops(), r.Fabric.RouteMasked,
+			r.Fabric.NoRouteDrops, r.TotalStallDelays(), r.TotalTimeouts())
+	}
 	fmt.Fprintf(w, "  wire overhead ratio: %.3f\n", r.WireOverheadRatio())
 	if r.Pool.Gets > 0 {
 		fmt.Fprintf(w, "  bufpool: gets=%d hits=%d (%.1f%%) puts=%d foreign=%d inflight=%d\n",
@@ -158,15 +214,16 @@ func (r *Report) Print(w io.Writer) {
 		}
 	}
 	for _, p := range r.Per {
-		fmt.Fprintf(w, "  node %d: hal sent=%d recvd=%d intr=%d fifoDrops=%d\n",
-			p.Node, p.HAL.PacketsSent, p.HAL.PacketsRecvd, p.Adapter.Interrupts, p.Adapter.FIFODrops)
+		fmt.Fprintf(w, "  node %d: hal sent=%d recvd=%d intr=%d fifoDrops=%d crcDrops=%d stalls=%d\n",
+			p.Node, p.HAL.PacketsSent, p.HAL.PacketsRecvd, p.Adapter.Interrupts,
+			p.Adapter.FIFODrops, p.HAL.CorruptDrops, p.Adapter.StallDelays)
 		if p.Pipes != nil {
-			fmt.Fprintf(w, "          pipes rtx=%d dups=%d acks=%d ooo=%d stalls=%d\n",
-				p.Pipes.Retransmits, p.Pipes.DupsDropped, p.Pipes.AcksSent, p.Pipes.OutOfOrder, p.Pipes.WindowStalls)
+			fmt.Fprintf(w, "          pipes rtx=%d timeouts=%d dups=%d acks=%d ooo=%d stalls=%d\n",
+				p.Pipes.Retransmits, p.Pipes.Timeouts, p.Pipes.DupsDropped, p.Pipes.AcksSent, p.Pipes.OutOfOrder, p.Pipes.WindowStalls)
 		}
 		if p.LAPI != nil {
-			fmt.Fprintf(w, "          lapi msgs=%d rtx=%d hdrHdl=%d cmplThr=%d cmplInl=%d cntrUpd=%d\n",
-				p.LAPI.MsgsSent, p.LAPI.Retransmits, p.LAPI.HdrHandlers, p.LAPI.CmplThreaded, p.LAPI.CmplInline, p.LAPI.CounterUpdates)
+			fmt.Fprintf(w, "          lapi msgs=%d rtx=%d timeouts=%d hdrHdl=%d cmplThr=%d cmplInl=%d cntrUpd=%d\n",
+				p.LAPI.MsgsSent, p.LAPI.Retransmits, p.LAPI.Timeouts, p.LAPI.HdrHandlers, p.LAPI.CmplThreaded, p.LAPI.CmplInline, p.LAPI.CounterUpdates)
 		}
 		if p.Provider != nil {
 			fmt.Fprintf(w, "          mpci eager=%d rdv=%d matched=%d unexpected=%d\n",

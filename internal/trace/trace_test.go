@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"splapi/internal/cluster"
+	"splapi/internal/faults"
 	"splapi/internal/machine"
 	"splapi/internal/mpci"
 	"splapi/internal/mpi"
@@ -56,7 +57,7 @@ func TestReportConsistencyCleanFabric(t *testing.T) {
 
 func TestReportConsistencyLossyFabric(t *testing.T) {
 	r := runWorkload(t, cluster.LAPIEnhanced, func(p *machine.Params) {
-		p.DropProb = 0.05
+		p.Faults = faults.Uniform(0.05, 0)
 		p.RetransmitTimeout = 400 * sim.Microsecond
 	})
 	if err := r.Consistent(); err != nil {

@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"splapi/internal/bench"
+	"splapi/internal/faults"
 	"splapi/internal/machine"
 	"splapi/internal/tracelog"
 )
@@ -67,7 +68,7 @@ func TestDiffSelfIdentical(t *testing.T) {
 // clean run, and the report must point at a concrete first event.
 func TestDropDivergesAndReports(t *testing.T) {
 	clean := tracedCell(t, 1, nil)
-	faulted := tracedCell(t, 1, func(p *machine.Params) { p.DropProb = 0.25 })
+	faulted := tracedCell(t, 1, func(p *machine.Params) { p.Faults = faults.Uniform(0.25, 0) })
 	idx := tracelog.Diff(clean.Events(), faulted.Events())
 	if idx < 0 {
 		t.Fatal("drop-injected run produced an identical trace")

@@ -110,6 +110,15 @@ const (
 	KDrop    // packet dropped (fault injection)
 	KDup     // packet duplicated (fault injection)
 
+	// Fault-injection and reliability events (appended so earlier kind
+	// values stay stable across trace tooling).
+	KFlowTimeout // LAPI retransmission timer fired; Size = unacked, Arg = timeout ns
+	KCorrupt     // fabric flipped a payload byte; Arg = byte index
+	KCrcDrop     // HAL CRC check failed, packet dropped before dispatch
+	KRouteMask   // fabric skipped a down route (failover); Arg = route
+	KNoRoute     // all routes down, packet dropped; Arg = route count
+	KStall       // adapter receive DMA stalled; Arg = stall ns remaining
+
 	numKinds
 )
 
@@ -129,6 +138,8 @@ var kindNames = [numKinds]string{
 	"adapter.tx-dma", "adapter.rx-dma", "adapter.fifo-drop", "adapter.intr",
 	"fabric.inject", "fabric.wire", "fabric.deliver", "fabric.drop",
 	"fabric.dup",
+	"flow.timeout", "fabric.corrupt", "hal.crc-drop", "fabric.route-mask",
+	"fabric.no-route", "adapter.stall",
 }
 
 func (k Kind) String() string {
