@@ -1,6 +1,6 @@
 # Tier-1 verification, as run by CI (.github/workflows/ci.yml).
 
-.PHONY: verify build vet test lint tidy-check bench bench-smoke determinism-check trace-smoke chaos-smoke
+.PHONY: verify build vet test lint tidy-check bench bench-smoke determinism-check trace-smoke chaos-smoke compare-selfcheck
 
 verify: build vet test lint tidy-check
 
@@ -44,6 +44,18 @@ determinism-check:
 	go run ./cmd/sweep -compare BENCH_fig10.json /tmp/BENCH_fig10_regen.json -tol 0
 	go run ./cmd/sweep -exp fig10 -seeds 16 -trace -o /tmp/BENCH_fig10_traced.json
 	go run ./cmd/sweep -compare BENCH_fig10.json /tmp/BENCH_fig10_traced.json -tol 0
+
+# compare-selfcheck runs the regression gate's core soundness property
+# over every committed sweep artifact: a result compared against itself at
+# zero tolerance must be clean. This is what the old mean-centered CI
+# violated (fp summation noise could exclude the median of an all-equal
+# sample); the nonparametric gate must never flag a self-comparison.
+# The walltime artifacts are a different schema and are deliberately not
+# matched by the glob.
+compare-selfcheck:
+	for f in BENCH_fig1[0-3].json BENCH_ablate-*.json; do \
+		go run ./cmd/sweep -compare $$f $$f -tol 0 || exit 1; \
+	done
 
 # trace-smoke exercises the tracing triangle in CI: export a trace from the
 # smallest fig10 cell, validate the schema tag, require self-comparison to

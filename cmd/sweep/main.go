@@ -7,8 +7,11 @@
 //	sweep -exp all -seeds 8                  # every experiment, BENCH_<id>.json each
 //	sweep -exp fig12 -seeds 8 -faults burst-loss      # scripted fault plan
 //	sweep -exp fig12 -seeds 8 -drop 0.001    # deprecated alias for -faults uniform:drop=0.001
+//	sweep -exp fig12 -seeds 4 -seeds-max 32 -rel-ci 2 -faults burst-loss
+//	                                         # sequential stopping: batches of 4
+//	                                         # until the median CI is within 2%
 //	sweep -list                              # available experiments
-//	sweep -compare old.json new.json -tol 1  # flag >1% out-of-CI movements
+//	sweep -compare old.json new.json -tol 1  # flag significant >1% movements
 //
 // Results are bit-identical for any -par value: per-cell seeds are derived
 // from the cell identity, never from scheduling, and wall-clock cost is
@@ -19,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"splapi/internal/bench"
 	"splapi/internal/cliconf"
@@ -28,10 +32,23 @@ import (
 
 func main() { os.Exit(run()) }
 
+// eprint reports an error on stderr under the command's name without
+// doubling the prefix when the error already carries the package's own
+// "sweep:" one.
+func eprint(err error) {
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "sweep:") {
+		msg = "sweep: " + msg
+	}
+	fmt.Fprintln(os.Stderr, msg)
+}
+
 func run() int {
 	var (
 		exp      = flag.String("exp", "", "experiment id to sweep, or 'all'")
-		seeds    = flag.Int("seeds", 1, "repetitions per cell (distinct derived seeds)")
+		seeds    = flag.Int("seeds", 1, "repetitions per cell (distinct derived seeds); the batch size under -seeds-max")
+		seedsMax = flag.Int("seeds-max", 0, "sequential stopping: cap repetitions per cell, running batches of -seeds until -rel-ci converges")
+		relCI    = flag.Float64("rel-ci", 0, "sequential stopping target: relative median-CI half-width in percent")
 		par      = flag.Int("par", 0, "worker-pool size (0 = GOMAXPROCS)")
 		baseSeed = flag.Int64("baseseed", 1, "base seed perturbing every derived seed")
 		out      = flag.String("o", "", "output file (default BENCH_<exp>.json)")
@@ -40,13 +57,14 @@ func run() int {
 		compare  = flag.Bool("compare", false, "compare two result files: sweep -compare old.json new.json")
 		traced   = flag.Bool("trace", false, "attach (and discard) an event log to every cell run; results must be identical to an untraced sweep")
 		tol      = flag.Float64("tol", 0, "comparison tolerance in percent of the old median")
-		verbose  = flag.Bool("v", false, "verbose comparison output (include within-CI points)")
+		missing  = flag.Bool("allow-missing", false, "comparison: tolerate points present in old but absent in new (coverage loss fails the gate otherwise)")
+		verbose  = flag.Bool("v", false, "verbose comparison output (include unmoved points)")
 	)
 	pf := prof.Flags()
 	flag.Parse()
 	stop, err := pf.Start()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
+		eprint(err)
 		return 2
 	}
 	defer stop()
@@ -73,23 +91,23 @@ func run() int {
 		}
 		oldRes, err := sweep.Load(args[0])
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
+			eprint(err)
 			return 2
 		}
 		newRes, err := sweep.Load(args[1])
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
+			eprint(err)
 			return 2
 		}
-		deltas, err := sweep.Compare(oldRes, newRes, *tol)
+		deltas, err := sweep.Compare(oldRes, newRes, sweep.CompareOpts{TolPct: *tol, AllowMissing: *missing})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
+			eprint(err)
 			return 2
 		}
 		sweep.PrintDeltas(os.Stdout, deltas, *verbose)
 		regs := sweep.Regressions(deltas)
 		if len(regs) > 0 {
-			fmt.Printf("%d regression(s) beyond the CI (+%g%% tolerance)\n", len(regs), *tol)
+			fmt.Printf("%d regression(s) (significant movement or lost coverage, +%g%% tolerance)\n", len(regs), *tol)
 			return 1
 		}
 		fmt.Printf("no regressions (%d points compared, tolerance %g%%)\n", len(deltas), *tol)
@@ -106,7 +124,7 @@ func run() int {
 	} else {
 		e, err := bench.FindExperiment(*exp)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
+			eprint(err)
 			fmt.Fprintln(os.Stderr, "sweep: use -list to see available experiments")
 			return 2
 		}
@@ -115,13 +133,14 @@ func run() int {
 	git := cliconf.GitDescribe()
 	for _, e := range exps {
 		opts := sweep.Options{
-			Seeds: *seeds, Par: *par, BaseSeed: *baseSeed,
+			Seeds: *seeds, SeedsMax: *seedsMax, RelCIPct: *relCI,
+			Par: *par, BaseSeed: *baseSeed,
 			Faults: faultsFl.Raw(), DropProb: faultsFl.Drop(), DupProb: faultsFl.Dup(),
 			GitDescribe: git, Trace: *traced,
 		}
 		res, err := sweep.Run(e, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
+			eprint(err)
 			return 1
 		}
 		res.Print(os.Stdout)
@@ -130,7 +149,7 @@ func run() int {
 			path = "BENCH_" + e.ID + ".json"
 		}
 		if err := sweep.Save(path, res); err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
+			eprint(err)
 			return 1
 		}
 		fmt.Printf("  wrote %s\n\n", path)

@@ -50,12 +50,50 @@ type Cell struct {
 	Run func(seed int64, mod ParamMod, tl *tracelog.Log) Measurement
 }
 
+// Direction declares which way is "better" for an experiment's metric, so
+// the regression gate never has to guess from unit spelling.
+type Direction string
+
+const (
+	// LowerIsBetter: latencies, costs — a rise is a regression.
+	LowerIsBetter Direction = "lower-better"
+	// HigherIsBetter: bandwidths, rates — a drop is a regression.
+	HigherIsBetter Direction = "higher-better"
+)
+
+// DirectionForUnit maps the units of legacy (sweep/v1) artifacts, which
+// carried no declared direction, onto a Direction. Unknown units are an
+// error: silently guessing a direction is how a msgs/s experiment would
+// have its regressions waved through.
+func DirectionForUnit(unit string) (Direction, error) {
+	switch unit {
+	case "us", "ns", "ms", "s":
+		return LowerIsBetter, nil
+	case "MB/s", "GB/s", "msgs/s", "ops/s":
+		return HigherIsBetter, nil
+	}
+	return "", fmt.Errorf("bench: unit %q has no known regression direction; declare Direction on the experiment", unit)
+}
+
+// ParseDirection validates a direction string from an artifact.
+func ParseDirection(s string) (Direction, error) {
+	switch Direction(s) {
+	case LowerIsBetter, HigherIsBetter:
+		return Direction(s), nil
+	}
+	return "", fmt.Errorf("bench: unknown regression direction %q", s)
+}
+
 // Experiment is a named set of cells with presentation metadata.
 type Experiment struct {
 	ID    string
 	Title string
 	Unit  string
-	Cells []Cell
+	// Direction declares the harmful movement for the metric; the sweep
+	// harness persists it and the regression gate requires it (falling
+	// back to DirectionForUnit only for legacy artifacts).
+	Direction Direction
+	Cells     []Cell
 }
 
 // mpiPingPongCell builds a latency cell (one-way microseconds).
@@ -106,9 +144,10 @@ func bandwidthCell(series string, stack cluster.Stack, size, count int, override
 // Fig10Experiment: raw LAPI vs the three MPI-LAPI designs (one-way time).
 func Fig10Experiment() Experiment {
 	e := Experiment{
-		ID:    "fig10",
-		Title: "Figure 10: raw LAPI vs MPI-LAPI designs (one-way time, polling)",
-		Unit:  "us",
+		ID:        "fig10",
+		Title:     "Figure 10: raw LAPI vs MPI-LAPI designs (one-way time, polling)",
+		Unit:      "us",
+		Direction: LowerIsBetter,
 	}
 	for _, s := range sweepSizes() {
 		e.Cells = append(e.Cells,
@@ -124,9 +163,10 @@ func Fig10Experiment() Experiment {
 // Fig11Experiment: polling latency, native MPI vs MPI-LAPI Enhanced.
 func Fig11Experiment() Experiment {
 	e := Experiment{
-		ID:    "fig11",
-		Title: "Figure 11: native MPI vs MPI-LAPI Enhanced (one-way latency, polling)",
-		Unit:  "us",
+		ID:        "fig11",
+		Title:     "Figure 11: native MPI vs MPI-LAPI Enhanced (one-way latency, polling)",
+		Unit:      "us",
+		Direction: LowerIsBetter,
 	}
 	for _, s := range latencySizes() {
 		e.Cells = append(e.Cells,
@@ -140,9 +180,10 @@ func Fig11Experiment() Experiment {
 // Fig12Experiment: streaming bandwidth, native MPI vs MPI-LAPI Enhanced.
 func Fig12Experiment() Experiment {
 	e := Experiment{
-		ID:    "fig12",
-		Title: "Figure 12: native MPI vs MPI-LAPI Enhanced (streaming bandwidth)",
-		Unit:  "MB/s",
+		ID:        "fig12",
+		Title:     "Figure 12: native MPI vs MPI-LAPI Enhanced (streaming bandwidth)",
+		Unit:      "MB/s",
+		Direction: HigherIsBetter,
 	}
 	for _, s := range []int{256, 1024, 4096, 16384, 65536, 262144, 1 << 20} {
 		count := 64
@@ -160,9 +201,10 @@ func Fig12Experiment() Experiment {
 // Fig13Experiment: interrupt-mode latency, native MPI vs MPI-LAPI Enhanced.
 func Fig13Experiment() Experiment {
 	e := Experiment{
-		ID:    "fig13",
-		Title: "Figure 13: native MPI vs MPI-LAPI Enhanced (one-way latency, interrupt mode)",
-		Unit:  "us",
+		ID:        "fig13",
+		Title:     "Figure 13: native MPI vs MPI-LAPI Enhanced (one-way latency, interrupt mode)",
+		Unit:      "us",
+		Direction: LowerIsBetter,
 	}
 	for _, s := range latencySizes() {
 		e.Cells = append(e.Cells,
@@ -177,9 +219,10 @@ func Fig13Experiment() Experiment {
 // (Section 5.2); x is the cost in microseconds.
 func AblateCtxSwitchExperiment() Experiment {
 	e := Experiment{
-		ID:    "ablate-ctxswitch",
-		Title: "Ablation (Section 5.2): completion-handler thread context-switch cost",
-		Unit:  "us",
+		ID:        "ablate-ctxswitch",
+		Title:     "Ablation (Section 5.2): completion-handler thread context-switch cost",
+		Unit:      "us",
+		Direction: LowerIsBetter,
 	}
 	for _, cost := range []sim.Time{0, 7 * sim.Microsecond, 14 * sim.Microsecond, 28 * sim.Microsecond, 56 * sim.Microsecond} {
 		cost := cost
@@ -198,9 +241,10 @@ func AblateCtxSwitchExperiment() Experiment {
 // (Section 2); x is the message size.
 func AblateCopiesExperiment() Experiment {
 	e := Experiment{
-		ID:    "ablate-copies",
-		Title: "Ablation (Section 2): native user<->pipe copy rule vs bandwidth",
-		Unit:  "MB/s",
+		ID:        "ablate-copies",
+		Title:     "Ablation (Section 2): native user<->pipe copy rule vs bandwidth",
+		Unit:      "MB/s",
+		Direction: HigherIsBetter,
 	}
 	noCopy := func(par *machine.Params) { par.PipeHeadTailCopyBytes = 0 }
 	for _, size := range []int{4096, 16384, 65536, 262144} {
@@ -218,9 +262,10 @@ func AblateCopiesExperiment() Experiment {
 // in bytes.
 func AblateEagerExperiment() Experiment {
 	e := Experiment{
-		ID:    "ablate-eager",
-		Title: "Ablation (Section 4): eager limit vs latency (receives pre-posted)",
-		Unit:  "us",
+		ID:        "ablate-eager",
+		Title:     "Ablation (Section 4): eager limit vs latency (receives pre-posted)",
+		Unit:      "us",
+		Direction: LowerIsBetter,
 	}
 	for _, lim := range []int{0, 78, 512, 4096, 16384} {
 		lim := lim

@@ -3,6 +3,7 @@ package sweep
 import (
 	"bytes"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"splapi/internal/bench"
@@ -159,92 +160,172 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Fatalf("round trip lost data: %+v", got)
 	}
 	for i := range r.Points {
-		if got.Points[i] != r.Points[i] {
+		if !reflect.DeepEqual(got.Points[i], r.Points[i]) {
 			t.Fatalf("point %d changed across round trip:\n%+v\nvs\n%+v", i, r.Points[i], got.Points[i])
+		}
+	}
+	if got.Schema != SchemaV2 {
+		t.Fatalf("saved artifact schema = %q, want %q", got.Schema, SchemaV2)
+	}
+	if !reflect.DeepEqual(got.Variance, r.Variance) {
+		t.Fatalf("variance decomposition changed across round trip:\n%+v\nvs\n%+v", r.Variance, got.Variance)
+	}
+}
+
+// noisySyntheticExperiment builds an experiment whose cell 0 is seed-
+// independent (zero variance) and whose cell 1 spreads with the seed —
+// the smallest matrix that exercises per-cell sequential stopping.
+func noisySyntheticExperiment() bench.Experiment {
+	e := bench.Experiment{ID: "noisy", Title: "noisy", Unit: "us"}
+	e.Cells = append(e.Cells,
+		bench.Cell{Series: "flat", X: 0, Run: func(seed int64, mod bench.ParamMod, tl *tracelog.Log) bench.Measurement {
+			return bench.Measurement{Value: 100}
+		}},
+		bench.Cell{Series: "noisy", X: 0, Run: func(seed int64, mod bench.ParamMod, tl *tracelog.Log) bench.Measurement {
+			return bench.Measurement{Value: 100 + float64(seed%977)}
+		}},
+	)
+	return e
+}
+
+// TestSequentialStoppingPerCell: under -seeds-max/-rel-ci, a zero-variance
+// cell must stop at the first batch while a noisy cell keeps burning seeds
+// toward the cap, and the values of the seeds that did run must equal the
+// fixed-seed sweep's (stopping only truncates, never perturbs).
+func TestSequentialStoppingPerCell(t *testing.T) {
+	e := noisySyntheticExperiment()
+	r, err := Run(e, Options{Seeds: 3, SeedsMax: 24, RelCIPct: 1, Par: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byS := map[string]PointResult{}
+	for _, p := range r.Points {
+		byS[p.Series] = p
+	}
+	if n := byS["flat"].Stats.N; n != 3 {
+		t.Errorf("zero-variance cell ran %d seeds, want the 3-seed minimum batch", n)
+	}
+	if n := byS["noisy"].Stats.N; n <= 3 {
+		t.Errorf("noisy cell stopped at %d seeds; should have escalated", n)
+	}
+	full, err := Run(e, Options{Seeds: 24, Par: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range r.Points {
+		for _, fp := range full.Points {
+			if fp.Series != p.Series || fp.X != p.X {
+				continue
+			}
+			if !reflect.DeepEqual(p.Samples, fp.Samples[:len(p.Samples)]) {
+				t.Errorf("%s: sequential samples are not a prefix of the fixed-seed sweep", p.Series)
+			}
+		}
+	}
+	// Stopping is part of the artifact's provenance.
+	if r.SeedsMax != 24 || r.RelCIPct != 1 || r.Seeds != 3 {
+		t.Errorf("stopping rule not recorded: %+v", r)
+	}
+}
+
+// TestSequentialStoppingParInvariance: which seeds run is a pure function
+// of the accumulated values, so the artifact must stay byte-identical at
+// any pool size even with per-cell stopping.
+func TestSequentialStoppingParInvariance(t *testing.T) {
+	e := noisySyntheticExperiment()
+	var ref []byte
+	for _, par := range []int{1, 3, 16} {
+		r, err := Run(e, Options{Seeds: 2, SeedsMax: 16, RelCIPct: 5, Par: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Encode(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = b
+		} else if !bytes.Equal(ref, b) {
+			t.Fatalf("par=%d produced different bytes under sequential stopping", par)
 		}
 	}
 }
 
-func mkResult(unit string, medians map[int]float64, ciHalf float64) *Result {
-	r := &Result{Experiment: "x", Unit: unit, Seeds: 3}
-	for x, m := range medians {
-		r.Points = append(r.Points, PointResult{
-			Series: "s", X: x,
-			Stats: bench.Summary{N: 3, Median: m, Mean: m, Min: m, Max: m, CI95Lo: m - ciHalf, CI95Hi: m + ciHalf},
-		})
-	}
-	return r
-}
-
-func TestCompareFlagsRegressions(t *testing.T) {
-	oldR := mkResult("us", map[int]float64{1: 100, 2: 200, 3: 300}, 1)
-	newR := mkResult("us", map[int]float64{1: 100.5, 2: 250, 3: 260}, 1)
-	deltas, err := Compare(oldR, newR, 0)
+// TestSequentialStoppingFaultPlan is the acceptance demonstration on a
+// real simulation: under a scripted fault plan, at least one low-variance
+// cell must converge before -seeds-max (saving seeds), and sequential
+// stopping must never run fewer than the minimum batch.
+func TestSequentialStoppingFaultPlan(t *testing.T) {
+	full, err := bench.FindExperiment("ablate-eager")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(deltas) != 3 {
-		t.Fatalf("got %d deltas, want 3", len(deltas))
-	}
-	byX := map[int]Delta{}
-	for _, d := range deltas {
-		byX[d.X] = d
-	}
-	if byX[1].OutsideCI {
-		t.Error("x=1 moved within the CI but was flagged")
-	}
-	if !byX[2].Regression {
-		t.Error("x=2 latency rose beyond the CI but was not flagged as regression")
-	}
-	if byX[3].Regression || !byX[3].OutsideCI {
-		t.Error("x=3 latency dropped: should be outside CI but an improvement")
-	}
-
-	// For bandwidth the bad direction flips.
-	oldB := mkResult("MB/s", map[int]float64{1: 80}, 0.5)
-	newB := mkResult("MB/s", map[int]float64{1: 70}, 0.5)
-	deltas, err = Compare(oldB, newB, 0)
+	e := bench.Experiment{ID: "stopdemo", Title: "stopping demo", Unit: "us", Direction: full.Direction}
+	e.Cells = full.Cells[:2]
+	r, err := Run(e, Options{Seeds: 2, SeedsMax: 6, RelCIPct: 10, Par: 2, Faults: "uniform:drop=0.002"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !deltas[0].Regression {
-		t.Error("bandwidth drop beyond CI not flagged as regression")
+	saved := false
+	for _, p := range r.Points {
+		if p.Stats.N < 2 || p.Stats.N > 6 {
+			t.Fatalf("point %s ran %d seeds outside [2, 6]", p.Series, p.Stats.N)
+		}
+		if p.Stats.N < 6 {
+			saved = true
+		}
 	}
-
-	// Tolerance widens the acceptance band.
-	deltas, err = Compare(oldB, newB, 20)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if deltas[0].OutsideCI {
-		t.Error("20%% tolerance should absorb a 12.5%% movement")
-	}
-
-	if _, err := Compare(oldR, oldB, 0); err == nil {
-		t.Error("comparing different experiments/units should error")
+	if !saved {
+		t.Error("no cell converged before -seeds-max; stopping rule did no work")
 	}
 }
 
-// TestCompareSelfIsClean: a result compared against itself at tolerance 0
-// must report nothing, even when floating-point noise in the mean-centered
-// CI places the median outside its own interval (all-equal samples give
-// std ~1e-15 and a CI of width ~1e-14 around a mean that differs from the
-// median in the last ulp).
-func TestCompareSelfIsClean(t *testing.T) {
-	r := mkResult("us", map[int]float64{1: 23.009}, 0)
-	// Reproduce the summation noise: CI excludes the median by an ulp.
-	r.Points[0].Stats.Mean = 23.009000000000007
-	r.Points[0].Stats.CI95Lo = 23.009000000000004
-	r.Points[0].Stats.CI95Hi = 23.00900000000001
-	deltas, err := Compare(r, r, 0)
+func TestSequentialStoppingOptionValidation(t *testing.T) {
+	e := syntheticExperiment(1)
+	if _, err := Run(e, Options{Seeds: 8, SeedsMax: 4, RelCIPct: 1}); err == nil {
+		t.Error("SeedsMax < Seeds should error")
+	}
+	if _, err := Run(e, Options{Seeds: 2, SeedsMax: 8}); err == nil {
+		t.Error("SeedsMax without RelCIPct should error")
+	}
+}
+
+// TestVarianceDecomposition: a clean deterministic sweep is all
+// parameter-axis variance (seed share 0); adding seed noise moves the
+// share up.
+func TestVarianceDecomposition(t *testing.T) {
+	r, err := Run(syntheticExperiment(5), Options{Seeds: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(deltas) != 1 {
-		t.Fatalf("got %d deltas, want 1", len(deltas))
+	if len(r.Variance) != 1 {
+		t.Fatalf("got %d variance rows, want 1", len(r.Variance))
 	}
-	if deltas[0].OutsideCI || deltas[0].Regression {
-		t.Errorf("self-comparison flagged a movement: %+v", deltas[0])
+	v := r.Variance[0]
+	if v.ParamVar <= 0 {
+		t.Errorf("synthetic cells differ by construction; parameter-axis variance = %v", v.ParamVar)
+	}
+	// syntheticExperiment values do vary with seed (seed%97), so the seed
+	// share must be positive but far below the parameter axis (cells are
+	// 1000 apart).
+	if v.SeedVar <= 0 || v.SeedShare <= 0 || v.SeedShare > 0.5 {
+		t.Errorf("seed-axis decomposition off: %+v", v)
+	}
+
+	noisy, err := Run(noisySyntheticExperiment(), Options{Seeds: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := map[string]SeriesVariance{}
+	for _, sv := range noisy.Variance {
+		shares[sv.Series] = sv
+	}
+	if sv := shares["flat"]; sv.SeedVar != 0 || sv.SeedShare != 0 {
+		t.Errorf("flat series should be all parameter axis: %+v", sv)
+	}
+	if sv := shares["noisy"]; sv.SeedVar <= 0 || sv.SeedShare != 1 {
+		// One cell only: no parameter axis, all seed axis.
+		t.Errorf("noisy single-cell series should be all seed axis: %+v", sv)
 	}
 }
 
