@@ -1,6 +1,6 @@
 # Tier-1 verification, as run by CI (.github/workflows/ci.yml).
 
-.PHONY: verify build vet test lint tidy-check bench bench-smoke determinism-check trace-smoke chaos-smoke compare-selfcheck
+.PHONY: verify build vet test lint lint-sarif tidy-check bench bench-smoke determinism-check trace-smoke chaos-smoke compare-selfcheck
 
 verify: build vet test lint tidy-check
 
@@ -14,8 +14,14 @@ test:
 	go test -race ./...
 
 # lint runs the determinism-invariant analyzer suite (internal/simlint).
+# Exit: 0 clean, 1 findings, 2 load errors, 3 stale allow directives.
 lint:
 	go run ./cmd/simlint ./...
+
+# lint-sarif is the CI flavor: same gate, plus a SARIF 2.1.0 log for
+# annotation/archival tooling.
+lint-sarif:
+	go run ./cmd/simlint -sarif simlint.sarif ./...
 
 tidy-check:
 	go mod tidy -diff
@@ -29,7 +35,10 @@ bench:
 # bench-smoke is the CI bit-rot check (one tiny round, artifact discarded)
 # plus the tracing-off overhead gate: with no log attached the hot paths pay
 # one nil-check branch, and the gated benchmarks must stay within 2% of the
-# committed BENCH_walltime.json on the machine that produced it.
+# committed BENCH_walltime.json on the machine that produced it. On any
+# other machine (checked by the recorded host fingerprint) the gate warns
+# loudly and demotes itself to report-only — ns/op is not comparable
+# across CPUs, and a canary scalar cannot bridge different cost ratios.
 bench-smoke:
 	go run ./cmd/walltime -smoke -o /tmp/BENCH_walltime_smoke.json
 	go run ./cmd/walltime -rounds 5 -gateref BENCH_walltime.json -gate 2

@@ -3,9 +3,23 @@
 //
 //	go run ./cmd/simlint ./...
 //
-// Exit status: 0 clean, 1 findings, 2 load or type-check errors. With
-// -json the diagnostics are emitted as a JSON array on stdout so the sweep
-// tooling and CI can consume them.
+// All requested packages are loaded into a single program before any
+// analyzer runs, so interprocedural effect summaries (handlerctx) cross
+// package boundaries exactly as the call graph does.
+//
+// Exit status:
+//
+//	0  clean
+//	1  findings
+//	2  load or type-check errors
+//	3  no findings, but stale //simlint:allow directives (unused, or
+//	   naming an unknown analyzer) — dead waivers must be deleted
+//
+// With -json the diagnostics are emitted as a JSON array on stdout so the
+// sweep tooling and CI can consume them; stale directives still go to
+// stderr. With -sarif FILE a SARIF 2.1.0 log is also written (use "-" for
+// stdout), with findings as level "error" results and stale directives as
+// level "warning" results under the synthetic rule ID "stale-allow".
 package main
 
 import (
@@ -20,6 +34,7 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	sarifOut := flag.String("sarif", "", "also write a SARIF 2.1.0 log to this file (\"-\" for stdout)")
 	tests := flag.Bool("tests", true, "also analyze _test.go files")
 	run := flag.String("run", "", "comma-separated subset of analyzers to run (default: all)")
 	list := flag.Bool("list", false, "list the analyzers and exit")
@@ -28,7 +43,8 @@ func main() {
 			"Runs the determinism-invariant analyzers over the given package\n"+
 			"patterns (default ./...). Suppress an intentional finding with a\n"+
 			"//simlint:allow <analyzer> <reason> directive on the same line or\n"+
-			"the line above.\n\nFlags:\n")
+			"the line above. Exit status: 0 clean, 1 findings, 2 load errors,\n"+
+			"3 stale allow directives.\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -76,19 +92,22 @@ func main() {
 	}
 
 	loadFailed := false
-	diags := []simlint.Diagnostic{}
+	var units []*simlint.Unit
 	for _, dir := range dirs {
-		units, err := ld.LoadDir(dir)
+		us, err := ld.LoadDir(dir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
 			loadFailed = true
 			continue
 		}
-		for _, u := range units {
-			diags = append(diags, simlint.RunUnit(u, analyzers)...)
-		}
+		units = append(units, us...)
+	}
+	diags, stale := simlint.RunUnits(units, analyzers)
+	if diags == nil {
+		diags = []simlint.Diagnostic{}
 	}
 	simlint.Sort(diags)
+	simlint.SortStale(stale)
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -102,6 +121,16 @@ func main() {
 			fmt.Println(d)
 		}
 	}
+	for _, s := range stale {
+		fmt.Fprintln(os.Stderr, s)
+	}
+
+	if *sarifOut != "" {
+		if err := writeSARIF(*sarifOut, diags, stale); err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	switch {
 	case loadFailed:
@@ -111,5 +140,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))
 		}
 		os.Exit(1)
+	case len(stale) > 0:
+		fmt.Fprintf(os.Stderr, "simlint: %d stale allow directive(s)\n", len(stale))
+		os.Exit(3)
 	}
 }

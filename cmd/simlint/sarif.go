@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+
+	"splapi/internal/simlint"
+)
+
+// Minimal SARIF 2.1.0 model: one tool, one run, physical locations only.
+// Just enough structure for CI annotation and archive tooling; nothing the
+// suite does not produce.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// staleAllowRuleID is the synthetic rule under which stale //simlint:allow
+// directives are reported (level "warning", vs "error" for findings).
+const staleAllowRuleID = "stale-allow"
+
+func writeSARIF(path string, diags []simlint.Diagnostic, stale []simlint.StaleAllow) error {
+	rules := []sarifRule{}
+	for _, a := range simlint.All() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{a.Doc}})
+	}
+	rules = append(rules, sarifRule{
+		ID:               staleAllowRuleID,
+		ShortDescription: sarifText{"//simlint:allow directive that no longer suppresses anything"},
+	})
+	results := []sarifResult{}
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifText{d.Message},
+			Locations: []sarifLocation{{sarifPhysical{
+				ArtifactLocation: sarifArtifact{d.File},
+				Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+			}}},
+		})
+	}
+	for _, s := range stale {
+		results = append(results, sarifResult{
+			RuleID:  staleAllowRuleID,
+			Level:   "warning",
+			Message: sarifText{s.String()},
+			Locations: []sarifLocation{{sarifPhysical{
+				ArtifactLocation: sarifArtifact{s.File},
+				Region:           sarifRegion{StartLine: s.Line},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "simlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -44,15 +44,42 @@ type Result struct {
 	AllocsPerOp float64   `json:"allocs_per_op"`
 }
 
-// Artifact is the BENCH_walltime.json schema ("walltime/v1").
+// Artifact is the BENCH_walltime.json schema ("walltime/v1"). Host was
+// added later and is optional: artifacts written before it exist compare
+// as a host mismatch, which demotes the overhead gate to report-only.
 type Artifact struct {
 	Schema     string    `json:"schema"`
 	Git        string    `json:"git"`
 	Go         string    `json:"go"`
 	GOMAXPROCS int       `json:"gomaxprocs"`
+	Host       string    `json:"host,omitempty"`
 	Rounds     int       `json:"rounds"`
 	Benchmarks []Result  `json:"benchmarks"`
 	Baseline   *Artifact `json:"baseline,omitempty"`
+}
+
+// hostFingerprint identifies the machine class an artifact was measured
+// on. Wall-clock ns/op numbers are only comparable between runs on the
+// same kind of host; the canary normalizes uniform speed drift but cannot
+// bridge different CPUs, whose relative per-benchmark costs differ.
+func hostFingerprint() string {
+	model := ""
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if name, val, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(name) == "model name" {
+				model = " " + strings.TrimSpace(val)
+				break
+			}
+		}
+	}
+	return fmt.Sprintf("%s/%s ncpu=%d%s", runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), model)
+}
+
+func refHostLabel(h string) string {
+	if h == "" {
+		return "(unrecorded: artifact predates the host fingerprint)"
+	}
+	return h
 }
 
 type benchmark struct {
@@ -198,6 +225,7 @@ func main() {
 		Git:        cliconf.GitDescribe(),
 		Go:         runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Host:       hostFingerprint(),
 		Rounds:     *rounds,
 	}
 	for _, b := range benchmarks() {
@@ -300,6 +328,19 @@ func main() {
 				}
 			}
 		}
+		// The gate is a same-host comparison: the canary corrects uniform
+		// speed drift on one machine, not the different per-benchmark cost
+		// ratios of a different CPU. On a mismatch (or a pre-fingerprint
+		// reference) the comparison still prints — the numbers are useful
+		// context — but it cannot fail the build.
+		reportOnly := ref.Host == "" || ref.Host != art.Host
+		if reportOnly {
+			fmt.Fprintf(os.Stderr,
+				"walltime: WARNING: reference artifact was measured on a different host\n"+
+					"  reference: %s\n  this run:  %s\n"+
+					"  the overhead gate is report-only; re-run `make bench` on this host to re-arm it\n",
+				refHostLabel(ref.Host), art.Host)
+		}
 		failed := false
 		fmt.Printf("\noverhead gate (+%g%%, best round vs %s, host scale %.3f via %s):\n",
 			*gatePct, ref.Git, scale, *gateCanary)
@@ -333,8 +374,12 @@ func main() {
 			}
 			verdict := "ok"
 			if pct > *gatePct {
-				verdict = "FAIL"
-				failed = true
+				if reportOnly {
+					verdict = "slow (report-only: host mismatch)"
+				} else {
+					verdict = "FAIL"
+					failed = true
+				}
 			}
 			fmt.Printf("  %-26s %12.1f -> %-12.1f ns/op  %+6.2f%%  %s\n", name, rBest, cBest, pct, verdict)
 		}

@@ -204,7 +204,6 @@ func (h *HAL) Poll(p *sim.Proc) int {
 			// reliability layers above recover by retransmission.
 			h.stats.CorruptDrops++
 			h.tr.Emit(p.Now(), tracelog.LHAL, tracelog.KCrcDrop, h.node, pkt.Src, tracelog.PacketID(pkt.Seq()), len(pkt.Payload), 0)
-			//simlint:allow payloadretain ownership transfer: a corrupt packet dies here and its pooled snapshot returns to the engine pool
 			h.eng.Pool().Put(pkt.Payload)
 			continue
 		}
@@ -229,7 +228,7 @@ func (h *HAL) dispatch(p *sim.Proc, src int, payload []byte) {
 	// The handler contract (enforced by simlint payloadretain on every
 	// protocol layer) is copy-don't-retain, so once it returns the packet's
 	// pooled snapshot is dead and goes back to the engine pool.
-	//simlint:allow payloadretain ownership transfer: handlers must not retain packet bytes, so dispatch returns the pooled snapshot
+	//simlint:allow bufpoolown ownership transfer: handlers must not retain packet bytes, so dispatch returns the pooled snapshot
 	h.eng.Pool().Put(payload)
 	// A dispatched packet may unblock a waiter that is not this process.
 	h.progress.Broadcast()

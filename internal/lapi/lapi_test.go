@@ -272,6 +272,7 @@ func TestDataBeforeHeaderStashed(t *testing.T) {
 
 func TestHeaderHandlerMayNotCallLAPI(t *testing.T) {
 	r := newRig(t, 2, 1, Inline, nil)
+	//simlint:allow handlerctx this test deliberately violates the contract to prove the runtime guard panics
 	r.ls[1].RegisterHeaderHandler(func(p *sim.Proc, src int, uhdr []byte, dataLen int) ([]byte, CmplHandler, any) {
 		defer func() {
 			if recover() == nil {

@@ -196,7 +196,7 @@ func (l *LAPI) finishMsg(p *sim.Proc, m *recvMsg) {
 	// Every op consumes the user header synchronously above (the Threaded
 	// completion closure captures only scalar fields), so the pooled snapshot
 	// taken in onMsgHdr/loopback is dead once the message has finished.
-	//simlint:allow payloadretain ownership transfer: the pooled uhdr snapshot returns to the engine pool with the completed message
+	//simlint:allow bufpoolown ownership transfer: the pooled uhdr snapshot returns to the engine pool with the completed message
 	l.eng.Pool().Put(m.uhdr)
 	m.uhdr = nil
 }

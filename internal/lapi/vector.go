@@ -106,7 +106,7 @@ func (l *LAPI) finishPutv(p *sim.Proc, m *recvMsg) {
 		at += n
 	}
 	// The assembly scratch allocated by putvTarget is dead once scattered.
-	//simlint:allow payloadretain ownership transfer: the pooled Putv assembly scratch returns to the engine pool
+	//simlint:allow bufpoolown ownership transfer: the pooled Putv assembly scratch returns to the engine pool
 	l.eng.Pool().Put(m.buf)
 	m.buf = nil
 }

@@ -215,6 +215,7 @@ func (pr *LAPIProvider) hdrRTSAck(p *sim.Proc, sendReq, recvID uint32, blocking 
 		req.acked = true
 		return nil, nil, nil
 	}
+	//simlint:allow handlerctx paper Figure 7: the nonblocking rendezvous sender transmits the body from its completion handler; LAPI restricts only header handlers from communicating, and the Threaded (Base) regime runs this off the dispatcher
 	return nil, func(cp *sim.Proc, _ any) {
 		req.acked = true
 		pr.sendRdvData(cp, req)

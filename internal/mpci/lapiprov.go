@@ -343,6 +343,7 @@ func (pr *LAPIProvider) sendRdvData(p *sim.Proc, req *SendReq) {
 	if req.bsendSlot != 0 {
 		// Buffered rendezvous: buf is the pooled staging copy, fully
 		// consumed by Amsend.
+		//simlint:allow bufpoolown ownership transfer: req.rdvBuf holds the pooled bsend staging copy this provider made, dead once Amsend snapshots it
 		pr.eng.Pool().Put(buf)
 	}
 	pr.stats.BytesSent += uint64(len(buf))
@@ -393,6 +394,7 @@ func (pr *LAPIProvider) finishEarly(p *sim.Proc, req *RecvReq, em *earlyMsg) {
 	copy(req.Buf, em.data)
 	// The pooled early-arrival buffer is dead once drained into the user
 	// buffer.
+	//simlint:allow bufpoolown ownership transfer: em.data is the pooled early-arrival copy this provider took, dead once drained
 	pr.eng.Pool().Put(em.data)
 	em.data = nil
 	pr.core.releaseEarly(em)

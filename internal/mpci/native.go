@@ -334,6 +334,7 @@ func (pr *NativeProvider) freeBsend(req *SendReq) {
 		// Every caller has already copied or transmitted the staged bytes,
 		// so the pooled staging copy goes back to the engine pool.
 		if req.staged != nil {
+			//simlint:allow bufpoolown ownership transfer: req.staged is the pooled bsend staging copy this provider made, dead once copied or sent
 			pr.eng.Pool().Put(req.staged)
 			req.staged = nil
 		}
@@ -419,6 +420,7 @@ func (pr *NativeProvider) finishEarly(p *sim.Proc, req *RecvReq, em *earlyMsg) {
 	copy(req.Buf, em.data)
 	// The pooled early-arrival buffer is dead once drained into the user
 	// buffer (the completion closure below reads only envelope scalars).
+	//simlint:allow bufpoolown ownership transfer: em.data is the pooled early-arrival copy this provider took, dead once drained
 	pr.eng.Pool().Put(em.data)
 	em.data = nil
 	pr.core.releaseEarly(em)

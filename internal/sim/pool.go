@@ -23,11 +23,15 @@ import "math/bits"
 // recycles only slices whose capacity is exactly a class size, so handing a
 // foreign buffer to Put is harmless: it is simply left to the GC.
 //
-// Ownership discipline (enforced for the injection-boundary packages by
-// simlint's payloadretain analyzer): Put transfers ownership — the caller
-// must own the bytes outright and must not touch the slice afterwards.
-// Returning a slice that something else still retains is the PR 1 aliasing
-// bug in a new costume, and payloadretain flags Put of caller-owned bytes.
+// Ownership discipline (enforced for the simulation packages by simlint's
+// flow-sensitive bufpoolown analyzer): Put transfers ownership — the
+// caller must own the bytes outright, must return the whole buffer (a
+// capacity-changing sub-slice either leaks or recycles into a smaller
+// class while the parent still aliases the bytes), must return it exactly
+// once, and must not touch the slice afterwards. Returning a slice that
+// something else still retains is the PR 1 aliasing bug in a new costume;
+// bufpoolown flags Put of caller-owned bytes, double Puts, use after Put,
+// sub-slice Puts, and buffers that leak on every path.
 type BufPool struct {
 	free [poolClasses][][]byte
 	// PoolStats are plain counters, readable via Stats.

@@ -10,6 +10,7 @@ func TestPoolClassRounding(t *testing.T) {
 	}
 	var bp BufPool
 	for _, c := range cases {
+		//simlint:allow bufpoolown pool unit test: class-rounding probes are deliberately never returned
 		b := bp.Get(c.n)
 		if len(b) != c.n || cap(b) != c.wantCap {
 			t.Errorf("Get(%d): len %d cap %d, want len %d cap %d", c.n, len(b), cap(b), c.n, c.wantCap)
@@ -24,6 +25,7 @@ func TestPoolGetZeroesRecycledBuffer(t *testing.T) {
 		b[i] = 0xAA
 	}
 	bp.Put(b)
+	//simlint:allow bufpoolown pool unit test: the recycled buffer is inspected for zeroing, deliberately never returned
 	got := bp.Get(48)
 	if len(got) != 48 {
 		t.Fatalf("len = %d, want 48", len(got))
@@ -82,6 +84,7 @@ func TestPoolForeignPutDropped(t *testing.T) {
 	if st.Foreign != 2 {
 		t.Errorf("Foreign = %d, want 2 (nil Put is not foreign)", st.Foreign)
 	}
+	//simlint:allow bufpoolown pool unit test: probes whether a foreign Put leaked into the class list, deliberately never returned
 	b := bp.Get(48)
 	if cap(b) != 64 {
 		t.Errorf("Get after foreign Put handed out a foreign cap %d", cap(b))
@@ -94,7 +97,9 @@ func TestPoolLIFOAndStats(t *testing.T) {
 	b := bp.Get(100)
 	bp.Put(a)
 	bp.Put(b)
+	//simlint:allow bufpoolown pool unit test: the LIFO probe is deliberately never returned
 	c := bp.Get(100) // LIFO: most recently Put first
+	//simlint:allow bufpoolown pool unit test: comparing the recycled pointer against the returned buffer is the point
 	if &c[0] != &b[0] {
 		t.Error("pool is not LIFO: Get did not return the last Put buffer")
 	}
@@ -111,6 +116,7 @@ func TestEnginePoolIsPerEngine(t *testing.T) {
 	if e2.Pool().Stats() != (PoolStats{}) {
 		t.Error("engines share pool state")
 	}
+	//simlint:allow bufpoolown pool unit test: recycling identity across engines is the property under test
 	if got := e1.Pool().Get(64); &got[0] != &b[0] {
 		t.Error("engine pool did not recycle its own buffer")
 	}

@@ -1,0 +1,793 @@
+package simlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Bufpoolown enforces the BufPool ownership discipline (sim/pool.go)
+// flow-sensitively, within each function:
+//
+//   - use-after-Put: Put transfers ownership to the pool; a later Get may
+//     recycle the backing array, so reading or writing the slice after Put
+//     races with unrelated code in virtual time;
+//   - double-Put: returning the same buffer twice parks the array on the
+//     free list twice — two later Gets then alias each other (the PR 1
+//     bug class). Branches are merged, so a Put on one path followed by an
+//     unconditional Put is caught as a possible double-Put;
+//   - Put-of-subslice: Put recycles by capacity class. A capacity-changing
+//     sub-slice (b[2:], b[:n:m]) either misses every class (silent leak)
+//     or lands in a smaller class while the parent slice still aliases
+//     the bytes;
+//   - Put-of-caller-owned bytes: parameters and their carrier fields are
+//     owned by the caller; pooling them lets a later Get rewrite bytes
+//     the caller still uses. (This rule moved here from payloadretain,
+//     which bolted it onto taint tracking in PR 3; ownership is a
+//     flow-sensitive property and lives with the rest of them now.)
+//   - leak-on-all-paths: a buffer obtained from Get/Snapshot that is
+//     never Put, never escapes (field, global, channel, composite,
+//     return, closure capture), and is never handed to another function
+//     is lost on every path.
+//
+// Ownership here is intraprocedural by design: passing a buffer to a
+// callee discharges the leak obligation (the callee may keep it) but does
+// not release ownership — the caller may still Put afterwards, as the
+// deliver-then-Put idiom does. Aliasing is tracked through plain
+// assignments, capacity-preserving reslices (b[:n]), and append-in-place;
+// capacity-changing reslices become sub-slice aliases whose Put is an
+// error.
+var Bufpoolown = &Analyzer{
+	Name:      "bufpoolown",
+	Doc:       "flow-sensitive BufPool ownership: use-after-Put, double-Put, Put-of-subslice, caller-owned Put, leaks",
+	AppliesTo: InSimDomain,
+	Run:       bufpoolownRun,
+}
+
+func bufpoolownRun(pass *Pass) {
+	for _, file := range pass.Unit.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					bufpoolownFunc(pass, fn.Type.Params, fn.Body)
+				}
+			case *ast.FuncLit:
+				bufpoolownFunc(pass, fn.Type.Params, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// bpState is the per-path ownership state of one pooled buffer.
+type bpState uint8
+
+const (
+	bpOwned         bpState = iota
+	bpMaybeReleased         // released on some merged path
+	bpReleased
+	bpEscaped // ownership left the function; no further obligations
+)
+
+// bpRecord is one pooled buffer (a Get/Snapshot result). Aliases share the
+// record; the sticky flags are whole-function properties feeding the leak
+// rule, while the per-path state lives in bpEnv.
+type bpRecord struct {
+	name    string
+	src     string // "Get" or "Snapshot"
+	getPos  token.Pos
+	everPut bool
+	escaped bool
+	passed  bool // handed to a callee, which may have kept it
+}
+
+// bpEnv maps each buffer to its state on the current control-flow path.
+type bpEnv map[*bpRecord]bpState
+
+func cloneEnv(e bpEnv) bpEnv {
+	out := make(bpEnv, len(e))
+	for r, s := range e {
+		out[r] = s
+	}
+	return out
+}
+
+func mergeState(a, b bpState) bpState {
+	if a == b {
+		return a
+	}
+	if a == bpEscaped || b == bpEscaped {
+		return bpEscaped
+	}
+	return bpMaybeReleased
+}
+
+func mergeEnv(a, b bpEnv) bpEnv {
+	out := cloneEnv(a)
+	for r, s := range b {
+		if t, ok := out[r]; ok {
+			out[r] = mergeState(t, s)
+		} else {
+			out[r] = s
+		}
+	}
+	return out
+}
+
+type bpWalker struct {
+	pass *Pass
+	info *types.Info
+	vars map[types.Object]*bpRecord // exact (capacity-preserving) aliases
+	subs map[types.Object]*bpRecord // capacity-changing sub-slice aliases
+	recs []*bpRecord
+	// Caller-owned bytes (parameters and their carrier fields), for the
+	// Put-of-caller-owned rule.
+	callerTainted map[types.Object]bool
+	carrier       map[types.Object]map[*types.Var]bool
+	// Loop bodies are walked twice (once to find the fixed point, once to
+	// catch cross-iteration bugs), so reports are deduplicated by site.
+	reported map[string]bool
+}
+
+func bufpoolownFunc(pass *Pass, params *ast.FieldList, body *ast.BlockStmt) {
+	w := &bpWalker{
+		pass:          pass,
+		info:          pass.Unit.Info,
+		vars:          make(map[types.Object]*bpRecord),
+		subs:          make(map[types.Object]*bpRecord),
+		callerTainted: make(map[types.Object]bool),
+		carrier:       make(map[types.Object]map[*types.Var]bool),
+		reported:      make(map[string]bool),
+	}
+	if params != nil {
+		for _, field := range params.List {
+			for _, name := range field.Names {
+				obj := w.info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if isByteSlice(obj.Type()) {
+					w.callerTainted[obj] = true
+					continue
+				}
+				if str := structUnder(obj.Type()); str != nil {
+					var fields map[*types.Var]bool
+					for i := 0; i < str.NumFields(); i++ {
+						if f := str.Field(i); isByteSlice(f.Type()) {
+							if fields == nil {
+								fields = make(map[*types.Var]bool)
+							}
+							fields[f] = true
+						}
+					}
+					if fields != nil {
+						w.carrier[obj] = fields
+					}
+				}
+			}
+		}
+	}
+	w.walk(body.List, make(bpEnv))
+	for _, rec := range w.recs {
+		if !rec.everPut && !rec.escaped && !rec.passed {
+			w.report(rec.getPos,
+				"pooled buffer %s (Pool().%s) is never returned to the pool, never escapes, and is never handed to another function: leaked on every path",
+				rec.name, rec.src)
+		}
+	}
+}
+
+func (w *bpWalker) report(pos token.Pos, format string, args ...any) {
+	key := fmt.Sprintf("%d|%s", pos, format)
+	if w.reported[key] {
+		return
+	}
+	w.reported[key] = true
+	w.pass.Reportf(pos, format, args...)
+}
+
+// poolCallMethod returns "Get", "Snapshot" or "Put" when call invokes the
+// corresponding BufPool method, else "".
+func (w *bpWalker) poolCallMethod(e ast.Expr) (string, *ast.CallExpr) {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", nil
+	}
+	se, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	fn, ok := w.info.Uses[se.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || lastPathElem(fn.Pkg().Path()) != "sim" {
+		return "", nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || recvTypeName(sig) != "BufPool" {
+		return "", nil
+	}
+	switch fn.Name() {
+	case "Get", "Snapshot", "Put":
+		return fn.Name(), call
+	}
+	return "", nil
+}
+
+// capChanging reports whether the reslice changes the slice's capacity:
+// any 3-index slice, or a low bound that is not statically zero. b[:n]
+// keeps the capacity (and so the pool size class); b[2:] does not.
+func capChanging(s *ast.SliceExpr) bool {
+	if s.Max != nil {
+		return true
+	}
+	if s.Low == nil {
+		return false
+	}
+	if lit, ok := unparen(s.Low).(*ast.BasicLit); ok && lit.Value == "0" {
+		return false
+	}
+	return true
+}
+
+// aliasOf resolves an expression to the pooled buffer it aliases, and
+// whether the alias is capacity-changing (sub). Conversions and append
+// results follow their operand: append within capacity is in-place, and a
+// growing append makes Put harmless (foreign capacity is dropped).
+func (w *bpWalker) aliasOf(e ast.Expr) (rec *bpRecord, sub bool) {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		obj := w.info.Uses[e]
+		if obj == nil {
+			return nil, false
+		}
+		if r := w.vars[obj]; r != nil {
+			return r, false
+		}
+		if r := w.subs[obj]; r != nil {
+			return r, true
+		}
+	case *ast.SliceExpr:
+		r, s := w.aliasOf(e.X)
+		if r != nil {
+			return r, s || capChanging(e)
+		}
+	case *ast.CallExpr:
+		if tv, ok := w.info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			if isByteSlice(tv.Type) {
+				return w.aliasOf(e.Args[0])
+			}
+			return nil, false
+		}
+		if id, ok := unparen(e.Fun).(*ast.Ident); ok && len(e.Args) > 0 {
+			if b, ok := w.info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+				return w.aliasOf(e.Args[0])
+			}
+		}
+	}
+	return nil, false
+}
+
+// callerRetains mirrors payloadretain's ownership test for the Put rule:
+// the expression yields bytes the caller of this function still owns.
+func (w *bpWalker) callerRetains(e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		obj := w.info.Uses[e]
+		return obj != nil && w.callerTainted[obj]
+	case *ast.SliceExpr:
+		return w.callerRetains(e.X)
+	case *ast.SelectorExpr:
+		sel := w.info.Selections[e]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			return false
+		}
+		base, ok := unparen(e.X).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		fields := w.carrier[w.info.Uses[base]]
+		if fields == nil {
+			return false
+		}
+		fv, ok := sel.Obj().(*types.Var)
+		return ok && fields[fv]
+	}
+	return false
+}
+
+func (w *bpWalker) escape(rec *bpRecord, env bpEnv) {
+	rec.escaped = true
+	env[rec] = bpEscaped
+}
+
+// checkUse flags a read of a buffer that has definitely been returned.
+func (w *bpWalker) checkUse(id *ast.Ident, env bpEnv) {
+	obj := w.info.Uses[id]
+	if obj == nil {
+		return
+	}
+	if rec := w.vars[obj]; rec != nil && env[rec] == bpReleased {
+		w.report(id.Pos(),
+			"use of pooled buffer %s after Put: ownership moved to the pool and a later Get may have recycled the backing array",
+			id.Name)
+	}
+}
+
+// scanExpr walks an expression on the current path: it checks buffer uses,
+// handles Put/escape sites, and records closures capturing buffers.
+func (w *bpWalker) scanExpr(e ast.Expr, env bpEnv) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.Ident:
+		w.checkUse(e, env)
+	case *ast.ParenExpr:
+		w.scanExpr(e.X, env)
+	case *ast.SelectorExpr:
+		w.scanExpr(e.X, env)
+	case *ast.StarExpr:
+		w.scanExpr(e.X, env)
+	case *ast.UnaryExpr:
+		w.scanExpr(e.X, env)
+	case *ast.BinaryExpr:
+		w.scanExpr(e.X, env)
+		w.scanExpr(e.Y, env)
+	case *ast.KeyValueExpr:
+		w.scanExpr(e.Key, env)
+		w.scanExpr(e.Value, env)
+	case *ast.IndexExpr:
+		w.scanExpr(e.X, env)
+		w.scanExpr(e.Index, env)
+	case *ast.SliceExpr:
+		w.scanExpr(e.X, env)
+		w.scanExpr(e.Low, env)
+		w.scanExpr(e.High, env)
+		w.scanExpr(e.Max, env)
+	case *ast.TypeAssertExpr:
+		w.scanExpr(e.X, env)
+	case *ast.CallExpr:
+		w.scanCall(e, env)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			w.scanExpr(v, env)
+			if rec, _ := w.aliasOf(v); rec != nil {
+				w.escape(rec, env)
+			}
+		}
+	case *ast.FuncLit:
+		// A closure capturing a buffer outlives this walk: the buffer
+		// escapes. The closure's own body is analyzed separately.
+		ast.Inspect(e.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := w.info.Uses[id]; obj != nil {
+					if rec := w.vars[obj]; rec != nil {
+						w.escape(rec, env)
+					} else if rec := w.subs[obj]; rec != nil {
+						w.escape(rec, env)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (w *bpWalker) scanCall(call *ast.CallExpr, env bpEnv) {
+	if m, pc := w.poolCallMethod(call); pc != nil {
+		w.scanExpr(selBase(call.Fun), env)
+		if m == "Put" && len(call.Args) == 1 {
+			w.putArg(call.Args[0], env)
+			return
+		}
+		for _, arg := range call.Args {
+			w.scanExpr(arg, env)
+		}
+		return
+	}
+	// Conversions copy or alias; either way no ownership transfer.
+	if tv, ok := w.info.Types[call.Fun]; ok && tv.IsType() {
+		for _, arg := range call.Args {
+			w.scanExpr(arg, env)
+		}
+		return
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := w.info.Uses[id].(*types.Builtin); ok {
+			for _, arg := range call.Args {
+				w.scanExpr(arg, env)
+			}
+			if b.Name() == "append" && !call.Ellipsis.IsValid() {
+				// append(q, b): b becomes an element of a longer-lived
+				// slice.
+				for _, arg := range call.Args[1:] {
+					if rec, _ := w.aliasOf(arg); rec != nil {
+						w.escape(rec, env)
+					}
+				}
+			}
+			return
+		}
+	}
+	w.scanExpr(call.Fun, env)
+	for _, arg := range call.Args {
+		w.scanExpr(arg, env)
+		if rec, _ := w.aliasOf(arg); rec != nil {
+			// The callee may keep the buffer: the leak obligation is
+			// discharged, but ownership stays here (deliver-then-Put).
+			rec.passed = true
+		}
+	}
+}
+
+// selBase returns the receiver chain of a selector call (eng.Pool() in
+// eng.Pool().Put(b)) so its identifiers still get use-checked.
+func selBase(fun ast.Expr) ast.Expr {
+	if se, ok := unparen(fun).(*ast.SelectorExpr); ok {
+		return se.X
+	}
+	return nil
+}
+
+func (w *bpWalker) putArg(arg ast.Expr, env bpEnv) {
+	arg = unparen(arg)
+	// Scan subexpressions that are not the buffer root itself (the root is
+	// judged by the ownership rules below, not the use-after-Put rule).
+	switch a := arg.(type) {
+	case *ast.Ident:
+	case *ast.SliceExpr:
+		w.scanExpr(a.Low, env)
+		w.scanExpr(a.High, env)
+		w.scanExpr(a.Max, env)
+	case *ast.SelectorExpr:
+		w.scanExpr(a.X, env)
+	default:
+		w.scanExpr(arg, env)
+	}
+	name := types.ExprString(arg)
+	if rec, sub := w.aliasOf(arg); rec != nil {
+		if sub {
+			w.report(arg.Pos(),
+				"Put of a sub-slice of pooled buffer %s (%s): the capacity no longer matches the buffer's size class, so the pool either drops it (leak) or recycles it into a smaller class while the parent slice still aliases the bytes — return the original buffer",
+				rec.name, name)
+			rec.everPut = true
+			env[rec] = bpReleased
+			return
+		}
+		switch env[rec] {
+		case bpReleased:
+			w.report(arg.Pos(),
+				"double Put of pooled buffer %s: it was already returned to the pool (two parked copies make two later Gets alias each other)",
+				name)
+		case bpMaybeReleased:
+			w.report(arg.Pos(),
+				"possible double Put of pooled buffer %s: it was already returned to the pool on another path",
+				name)
+		case bpEscaped:
+			// Ownership left the function; the holder is responsible.
+		default:
+			env[rec] = bpReleased
+		}
+		rec.everPut = true
+		return
+	}
+	if w.callerRetains(arg) {
+		w.report(arg.Pos(),
+			"caller-owned payload %s returned to the buffer pool: a later Get may rewrite bytes the caller still uses (Put only buffers this function owns, e.g. a Snapshot)",
+			name)
+	}
+}
+
+// walk processes a statement list on one path, returning the resulting env
+// and whether the path terminated (return or branch statement).
+func (w *bpWalker) walk(list []ast.Stmt, env bpEnv) (bpEnv, bool) {
+	for _, s := range list {
+		var term bool
+		env, term = w.walkStmt(s, env)
+		if term {
+			return env, true
+		}
+	}
+	return env, false
+}
+
+func (w *bpWalker) walkStmt(s ast.Stmt, env bpEnv) (bpEnv, bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) == len(s.Rhs) {
+			for i := range s.Lhs {
+				w.handleAssign(s.Lhs[i], s.Rhs[i], s.Tok, env)
+			}
+			return env, false
+		}
+		// Multi-value: results are freshly owned; rebinding clears old
+		// tracking.
+		for _, rhs := range s.Rhs {
+			w.scanExpr(rhs, env)
+		}
+		for _, lhs := range s.Lhs {
+			w.unbind(lhs, s.Tok)
+		}
+		return env, false
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return env, false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Names) != len(vs.Values) {
+				continue
+			}
+			for i, nm := range vs.Names {
+				w.scanExpr(vs.Values[i], env)
+				w.handleAssignObj(w.info.Defs[nm], nm.Name, vs.Values[i], env)
+			}
+		}
+		return env, false
+	case *ast.ExprStmt:
+		w.scanExpr(s.X, env)
+		return env, false
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, env)
+		return env, false
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, env)
+		w.scanExpr(s.Value, env)
+		if rec, _ := w.aliasOf(s.Value); rec != nil {
+			w.escape(rec, env)
+		}
+		return env, false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scanExpr(r, env)
+			if rec, _ := w.aliasOf(r); rec != nil {
+				w.escape(rec, env)
+			}
+		}
+		return env, true
+	case *ast.BranchStmt:
+		// break/continue/goto: stop tracking this path conservatively.
+		return env, true
+	case *ast.DeferStmt:
+		if m, pc := w.poolCallMethod(s.Call); m == "Put" && len(pc.Args) == 1 {
+			// Deferred Put runs at function exit: it satisfies the leak
+			// obligation without changing the state here.
+			if rec, sub := w.aliasOf(pc.Args[0]); rec != nil && !sub {
+				rec.everPut = true
+				return env, false
+			}
+		}
+		w.scanExpr(s.Call, env)
+		return env, false
+	case *ast.GoStmt:
+		w.scanExpr(s.Call, env)
+		return env, false
+	case *ast.BlockStmt:
+		return w.walk(s.List, env)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, env)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			env, _ = w.walkStmt(s.Init, env)
+		}
+		w.scanExpr(s.Cond, env)
+		thenEnv, thenTerm := w.walk(s.Body.List, cloneEnv(env))
+		elseEnv, elseTerm := cloneEnv(env), false
+		if s.Else != nil {
+			elseEnv, elseTerm = w.walkStmt(s.Else, elseEnv)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return env, true
+		case thenTerm:
+			return elseEnv, false
+		case elseTerm:
+			return thenEnv, false
+		default:
+			return mergeEnv(thenEnv, elseEnv), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			env, _ = w.walkStmt(s.Init, env)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, env)
+		}
+		return w.walkLoop(s.Body.List, s.Post, env), false
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, env)
+		if s.Tok == token.ASSIGN {
+			w.unbind(s.Key, s.Tok)
+			w.unbind(s.Value, s.Tok)
+		}
+		return w.walkLoop(s.Body.List, nil, env), false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			env, _ = w.walkStmt(s.Init, env)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, env)
+		}
+		return w.walkCases(s.Body, env), false
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			env, _ = w.walkStmt(s.Init, env)
+		}
+		if s.Assign != nil {
+			env, _ = w.walkStmt(s.Assign, env)
+		}
+		return w.walkCases(s.Body, env), false
+	case *ast.SelectStmt:
+		merged := env
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			ce := cloneEnv(env)
+			if cc.Comm != nil {
+				ce, _ = w.walkStmt(cc.Comm, ce)
+			}
+			ce, term := w.walk(cc.Body, ce)
+			if !term {
+				merged = mergeEnv(merged, ce)
+			}
+		}
+		return merged, false
+	}
+	return env, false
+}
+
+// walkLoop walks a loop body twice: the first pass reaches the merged
+// loop-head state, the second catches cross-iteration bugs (a Put in the
+// body is a double-Put on the next trip). Reports are deduplicated.
+func (w *bpWalker) walkLoop(body []ast.Stmt, post ast.Stmt, env bpEnv) bpEnv {
+	one, term := w.walk(body, cloneEnv(env))
+	if term {
+		one = cloneEnv(env)
+	} else if post != nil {
+		one, _ = w.walkStmt(post, one)
+	}
+	head := mergeEnv(env, one)
+	two, term := w.walk(body, cloneEnv(head))
+	if term {
+		two = cloneEnv(head)
+	} else if post != nil {
+		two, _ = w.walkStmt(post, two)
+	}
+	return mergeEnv(env, mergeEnv(head, two))
+}
+
+func (w *bpWalker) walkCases(body *ast.BlockStmt, env bpEnv) bpEnv {
+	merged := env // no-default and zero-iteration paths keep the entry env
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, x := range cc.List {
+			w.scanExpr(x, env)
+		}
+		ce, term := w.walk(cc.Body, cloneEnv(env))
+		if !term {
+			merged = mergeEnv(merged, ce)
+		}
+	}
+	return merged
+}
+
+func (w *bpWalker) handleAssign(lhs, rhs ast.Expr, tok token.Token, env bpEnv) {
+	w.scanExpr(rhs, env)
+	switch l := unparen(lhs).(type) {
+	case *ast.IndexExpr:
+		w.scanExpr(l.X, env)
+		w.scanExpr(l.Index, env)
+		if rec, _ := w.aliasOf(rhs); rec != nil {
+			w.escape(rec, env)
+		}
+	case *ast.SelectorExpr:
+		w.scanExpr(l.X, env)
+		if rec, _ := w.aliasOf(rhs); rec != nil {
+			w.escape(rec, env)
+		}
+		// The snapshot idiom: assigning an owned value over a carrier
+		// field (fr.Payload = pool.Snapshot(fr.Payload)) makes the field
+		// this function's property for the rest of it.
+		if base, ok := unparen(l.X).(*ast.Ident); ok {
+			if fields := w.carrier[w.info.Uses[base]]; fields != nil {
+				if sel := w.info.Selections[l]; sel != nil && sel.Kind() == types.FieldVal {
+					if fv, ok := sel.Obj().(*types.Var); ok {
+						if w.callerRetains(rhs) {
+							fields[fv] = true
+						} else {
+							delete(fields, fv)
+						}
+					}
+				}
+			}
+		}
+	case *ast.StarExpr:
+		w.scanExpr(l.X, env)
+		if rec, _ := w.aliasOf(rhs); rec != nil {
+			w.escape(rec, env)
+		}
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		var obj types.Object
+		if tok == token.DEFINE {
+			obj = w.info.Defs[l]
+			if obj == nil {
+				// := with a pre-declared variable on the left: it is
+				// reassigned, not redeclared.
+				obj = w.info.Uses[l]
+			}
+		} else {
+			obj = w.info.Uses[l]
+		}
+		if obj == nil {
+			return
+		}
+		if tok != token.DEFINE && obj.Parent() == w.pass.Unit.Pkg.Scope() {
+			// Stored in a package-level variable: escapes.
+			if rec, _ := w.aliasOf(rhs); rec != nil {
+				w.escape(rec, env)
+			}
+			return
+		}
+		w.handleAssignObj(obj, l.Name, rhs, env)
+	}
+}
+
+// handleAssignObj binds one local object to the value of rhs.
+func (w *bpWalker) handleAssignObj(obj types.Object, name string, rhs ast.Expr, env bpEnv) {
+	if obj == nil {
+		return
+	}
+	delete(w.vars, obj)
+	delete(w.subs, obj)
+	delete(w.callerTainted, obj)
+	if m, pc := w.poolCallMethod(rhs); m == "Get" || m == "Snapshot" {
+		rec := &bpRecord{name: name, src: m, getPos: pc.Pos()}
+		w.recs = append(w.recs, rec)
+		w.vars[obj] = rec
+		env[rec] = bpOwned
+		return
+	}
+	if rec, sub := w.aliasOf(rhs); rec != nil {
+		if sub {
+			w.subs[obj] = rec
+		} else {
+			w.vars[obj] = rec
+		}
+		return
+	}
+	if w.callerRetains(rhs) {
+		w.callerTainted[obj] = true
+	}
+}
+
+// unbind clears tracking for an assignment target whose new value is
+// unknown (multi-value results, range variables).
+func (w *bpWalker) unbind(lhs ast.Expr, tok token.Token) {
+	id, ok := unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	var obj types.Object
+	if tok == token.DEFINE {
+		obj = w.info.Defs[id]
+	} else {
+		obj = w.info.Uses[id]
+	}
+	if obj != nil {
+		delete(w.vars, obj)
+		delete(w.subs, obj)
+		delete(w.callerTainted, obj)
+	}
+}

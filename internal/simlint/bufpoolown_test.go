@@ -1,0 +1,17 @@
+package simlint_test
+
+import (
+	"testing"
+
+	"splapi/internal/simlint"
+	"splapi/internal/simlint/simlinttest"
+)
+
+// TestBufpoolown includes the acceptance fixture for this analyzer: the
+// cross-branch double-Put (one path returns the buffer, the fall-through
+// returns it again) must be flagged, along with use-after-Put, sub-slice
+// Put, leak-on-all-paths, and the caller-owned-Put rule inherited from
+// payloadretain.
+func TestBufpoolown(t *testing.T) {
+	simlinttest.Run(t, simlint.Bufpoolown, "bufpoolown/adapter")
+}

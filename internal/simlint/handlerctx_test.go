@@ -1,0 +1,22 @@
+package simlint_test
+
+import (
+	"testing"
+
+	"splapi/internal/simlint"
+	"splapi/internal/simlint/simlinttest"
+)
+
+// TestHandlerctx includes the acceptance fixtures for the interprocedural
+// framework: a blocking call two hops down a header-handler call chain
+// must be flagged at the registration site (handlerctx/mpci), and a
+// summary computed in one fixture package must produce the expected
+// diagnostic in another (handlerctxprog/*, loaded as one program with
+// cross-package facts).
+func TestHandlerctx(t *testing.T) {
+	simlinttest.RunProgram(t, simlint.Handlerctx,
+		"handlerctx/mpci",      // chains, re-entry, Spawn, clean handlers, regime allow
+		"handlerctxprog/xport", // out-of-scope package contributing facts only
+		"handlerctxprog/mpci",  // diagnostic whose witness chain crosses packages
+	)
+}

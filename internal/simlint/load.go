@@ -31,9 +31,9 @@ type Unit struct {
 	baseDir string // diagnostics are reported relative to this directory
 }
 
-// relFile rewrites an absolute filename relative to the module root so
+// RelFile rewrites an absolute filename relative to the module root so
 // diagnostics are stable across machines.
-func (u *Unit) relFile(filename string) string {
+func (u *Unit) RelFile(filename string) string {
 	if u.baseDir == "" {
 		return filename
 	}
@@ -60,10 +60,22 @@ type Loader struct {
 	// become their own unit.
 	IncludeTests bool
 
-	fset    *token.FileSet
-	std     types.Importer
-	deps    map[string]*types.Package
-	loading map[string]bool
+	fset      *token.FileSet
+	std       types.Importer
+	deps      map[string]*types.Package
+	loading   map[string]bool
+	synthetic map[string]string // synthetic import path -> directory
+}
+
+// AddSynthetic registers a directory under a synthetic import path so
+// fixture packages can import each other (multi-package fixtures for
+// cross-package fact propagation). Paths registered here resolve before
+// module and stdlib paths.
+func (ld *Loader) AddSynthetic(importPath, dir string) {
+	if ld.synthetic == nil {
+		ld.synthetic = make(map[string]string)
+	}
+	ld.synthetic[importPath] = dir
 }
 
 var moduleLineRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
@@ -333,6 +345,9 @@ func (ld *Loader) Import(importPath string) (*types.Package, error) {
 	if importPath == "unsafe" {
 		return types.Unsafe, nil
 	}
+	if dir, ok := ld.synthetic[importPath]; ok {
+		return ld.importPkgDir(importPath, dir)
+	}
 	if importPath == ld.ModulePath || strings.HasPrefix(importPath, ld.ModulePath+"/") {
 		return ld.importModulePkg(importPath)
 	}
@@ -340,6 +355,13 @@ func (ld *Loader) Import(importPath string) (*types.Package, error) {
 }
 
 func (ld *Loader) importModulePkg(importPath string) (*types.Package, error) {
+	dir := filepath.Join(ld.ModuleDir, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(importPath, ld.ModulePath), "/")))
+	return ld.importPkgDir(importPath, dir)
+}
+
+// importPkgDir type-checks the package in dir (signatures only) under
+// importPath, for use as a dependency of an analysis target.
+func (ld *Loader) importPkgDir(importPath, dir string) (*types.Package, error) {
 	if pkg, ok := ld.deps[importPath]; ok {
 		return pkg, nil
 	}
@@ -349,7 +371,6 @@ func (ld *Loader) importModulePkg(importPath string) (*types.Package, error) {
 	ld.loading[importPath] = true
 	defer delete(ld.loading, importPath)
 
-	dir := filepath.Join(ld.ModuleDir, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(importPath, ld.ModulePath), "/")))
 	nonTest, _, _, err := ld.parseDir(dir)
 	if err != nil {
 		return nil, err

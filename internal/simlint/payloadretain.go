@@ -25,10 +25,11 @@ import (
 //   - sending an alias on a channel;
 //   - appending an alias as an element of a longer-lived slice;
 //   - capturing an alias in a closure passed to Engine.At/After/Spawn
-//     (deferred delivery of bytes the caller may rewrite meanwhile);
-//   - returning an alias to the engine buffer pool (BufPool.Put): a later
-//     Get may hand the same backing array to unrelated code that rewrites
-//     bytes the caller still uses.
+//     (deferred delivery of bytes the caller may rewrite meanwhile).
+//
+// Returning caller-owned bytes to the engine buffer pool (BufPool.Put) is
+// the bufpoolown analyzer's job: ownership is a flow-sensitive property
+// and the PR 3 rule that lived here moved there with the rest of it.
 //
 // Copies cleanse: append([]byte(nil), b...), copy into a fresh buffer, or
 // any function-call result. A field assignment with a cleansed right-hand
@@ -467,18 +468,6 @@ func (st *taintState) checkCall(call *ast.CallExpr) {
 	}
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
-		return
-	}
-	// BufPool.Put recycles the buffer for arbitrary reuse: handing it bytes
-	// the caller still owns lets an unrelated Get rewrite an in-flight
-	// payload. Only the owner of a buffer (obtained from a matching Get or
-	// Snapshot) may return it.
-	if fn.Name() == "Put" && recvTypeName(sig) == "BufPool" && len(call.Args) == 1 {
-		if st.retains(call.Args[0]) {
-			st.pass.Reportf(call.Args[0].Pos(),
-				"caller-owned payload %s returned to the buffer pool: a later Get may rewrite bytes the caller still uses (Put only buffers this function owns, e.g. a Snapshot)",
-				types.ExprString(call.Args[0]))
-		}
 		return
 	}
 	if n := fn.Name(); n != "At" && n != "After" && n != "Spawn" {

@@ -15,8 +15,7 @@ func TestPayloadretain(t *testing.T) {
 	simlinttest.Run(t, simlint.Payloadretain,
 		"payloadretain/switchnet", // pre-fix fabric.go pattern (must flag)
 		"payloadretain/hal",       // every retention shape + copy idioms
-		"payloadretain/adapter",   // BufPool.Put ownership transfer vs caller-owned bytes
 		"payloadretain/tracelog",  // a trace event retaining payload bytes (scalars only!)
-		"payloadretain/faults",    // injector mutates in place; retention or pooling flagged
+		"payloadretain/faults",    // injector mutates in place; retention flagged
 	)
 }

@@ -19,6 +19,13 @@
 //	                or accumulates into an ordered slice
 //	baregoroutine — no `go` statements in simulation packages; use
 //	                sim.Engine.Spawn
+//	handlerctx    — code reachable from a registered LAPI header handler
+//	                (or an Enhanced-regime completion handler) must not
+//	                block, re-enter LAPI, or Spawn; interprocedural, with
+//	                effect summaries propagated across packages (facts.go)
+//	bufpoolown    — flow-sensitive BufPool ownership: no use-after-Put,
+//	                double-Put, Put-of-subslice, caller-owned Put, or
+//	                leak-on-all-paths
 //
 // A finding that is intentional is suppressed in source with a directive on
 // the same line or the line directly above:
@@ -86,21 +93,28 @@ func Sort(diags []Diagnostic) {
 	})
 }
 
-// A Pass carries one analyzer run over one package unit.
+// A Pass carries one analyzer run over one package unit. Prog is the
+// module-wide Program the unit was loaded into; interprocedural analyzers
+// (handlerctx) read cross-package effect summaries from it.
 type Pass struct {
 	Analyzer *Analyzer
 	Unit     *Unit
+	Prog     *Program
 
 	diags  *[]Diagnostic
-	allows map[allowKey]bool
+	allows map[allowKey]*allowDirective
 }
 
 // Reportf records a finding at pos unless an allow directive suppresses it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Unit.Fset.Position(pos)
-	file := p.Unit.relFile(position.Filename)
-	if p.allows[allowKey{file, position.Line, p.Analyzer.Name}] ||
-		p.allows[allowKey{file, position.Line - 1, p.Analyzer.Name}] {
+	file := p.Unit.RelFile(position.Filename)
+	if d := p.allows[allowKey{file, position.Line, p.Analyzer.Name}]; d != nil {
+		d.used = true
+		return
+	}
+	if d := p.allows[allowKey{file, position.Line - 1, p.Analyzer.Name}]; d != nil {
+		d.used = true
 		return
 	}
 	*p.diags = append(*p.diags, Diagnostic{
@@ -119,11 +133,39 @@ type allowKey struct {
 	analyzer string
 }
 
+// allowDirective is one //simlint:allow occurrence; used records whether it
+// suppressed at least one diagnostic (a never-used directive is stale).
+type allowDirective struct {
+	used bool
+}
+
+// A StaleAllow is a //simlint:allow directive that did nothing: either the
+// analyzer name is unknown, or the named analyzer ran over the package and
+// reported nothing at the directive. Stale directives rot into misleading
+// documentation — the invariant they claim to waive is no longer waived —
+// so cmd/simlint reports them on their own exit path.
+type StaleAllow struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	// Unknown is set when Analyzer names no registered analyzer.
+	Unknown bool `json:"unknown,omitempty"`
+}
+
+func (s StaleAllow) String() string {
+	if s.Unknown {
+		return fmt.Sprintf("%s:%d: stale //simlint:allow: unknown analyzer %q (see simlint -list)",
+			s.File, s.Line, s.Analyzer)
+	}
+	return fmt.Sprintf("%s:%d: stale //simlint:allow %s: no diagnostic suppressed here or on the next line",
+		s.File, s.Line, s.Analyzer)
+}
+
 // collectAllows scans the unit's comments for //simlint:allow directives.
 // A directive suppresses findings of the named analyzer on its own line and
 // on the line directly below it.
-func collectAllows(u *Unit) map[allowKey]bool {
-	allows := make(map[allowKey]bool)
+func collectAllows(u *Unit) map[allowKey]*allowDirective {
+	allows := make(map[allowKey]*allowDirective)
 	for _, f := range u.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -136,30 +178,74 @@ func collectAllows(u *Unit) map[allowKey]bool {
 					continue // malformed directive: no analyzer name
 				}
 				pos := u.Fset.Position(c.Pos())
-				allows[allowKey{u.relFile(pos.Filename), pos.Line, fields[0]}] = true
+				allows[allowKey{u.RelFile(pos.Filename), pos.Line, fields[0]}] = &allowDirective{}
 			}
 		}
 	}
 	return allows
 }
 
-// RunUnit runs every applicable analyzer over one package unit and returns
-// the findings (unsorted; callers aggregate and Sort).
-func RunUnit(u *Unit, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	allows := collectAllows(u)
-	for _, a := range analyzers {
-		if a.AppliesTo != nil && !a.AppliesTo(u.Path) {
-			continue
-		}
-		a.Run(&Pass{Analyzer: a, Unit: u, diags: &diags, allows: allows})
+// RunUnits builds one Program over all units, runs every applicable
+// analyzer over every unit, and returns the findings plus the stale allow
+// directives (both unsorted; callers aggregate and Sort). Loading every
+// unit into a single Program is what makes cross-package facts work: the
+// effect summary of a function in unit A is visible when an analyzer
+// reports in unit B.
+func RunUnits(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, []StaleAllow) {
+	prog := NewProgram(units)
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
 	}
+	var diags []Diagnostic
+	var stale []StaleAllow
+	for _, u := range units {
+		allows := collectAllows(u)
+		ran := make(map[string]bool)
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(u.Path) {
+				continue
+			}
+			ran[a.Name] = true
+			a.Run(&Pass{Analyzer: a, Unit: u, Prog: prog, diags: &diags, allows: allows})
+		}
+		for k, d := range allows {
+			switch {
+			case !known[k.analyzer]:
+				stale = append(stale, StaleAllow{File: k.file, Line: k.line, Analyzer: k.analyzer, Unknown: true})
+			case ran[k.analyzer] && !d.used:
+				stale = append(stale, StaleAllow{File: k.file, Line: k.line, Analyzer: k.analyzer})
+			}
+		}
+	}
+	return diags, stale
+}
+
+// SortStale orders stale-allow reports by file, line, analyzer.
+func SortStale(stale []StaleAllow) {
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i], stale[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// RunUnit runs every applicable analyzer over one package unit and returns
+// the findings (unsorted; callers aggregate and Sort). The unit gets a
+// private single-unit Program; use RunUnits for cross-package facts.
+func RunUnit(u *Unit, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunUnits([]*Unit{u}, analyzers)
 	return diags
 }
 
 // All returns the full analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{Walltime, Globalrand, Payloadretain, Maporder, Baregoroutine}
+	return []*Analyzer{Walltime, Globalrand, Payloadretain, Maporder, Baregoroutine, Handlerctx, Bufpoolown}
 }
 
 // simDomain names the packages (by final import-path element) that run in

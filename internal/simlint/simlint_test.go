@@ -26,19 +26,26 @@ func TestTreeIsSimlintClean(t *testing.T) {
 	if len(dirs) == 0 {
 		t.Fatal("no package directories found")
 	}
-	var diags []simlint.Diagnostic
+	var units []*simlint.Unit
 	for _, dir := range dirs {
-		units, err := ld.LoadDir(dir)
+		us, err := ld.LoadDir(dir)
 		if err != nil {
 			t.Fatalf("loading %s: %v", dir, err)
 		}
-		for _, u := range units {
-			diags = append(diags, simlint.RunUnit(u, simlint.All())...)
-		}
+		units = append(units, us...)
 	}
+	// One Program over every unit: interprocedural effect summaries must
+	// cross package boundaries exactly as they do under cmd/simlint.
+	diags, stale := simlint.RunUnits(units, simlint.All())
 	simlint.Sort(diags)
 	for _, d := range diags {
 		t.Errorf("%s", d)
+	}
+	// Zero stale allows: every //simlint:allow in the tree must still be
+	// suppressing the finding it documents.
+	simlint.SortStale(stale)
+	for _, s := range stale {
+		t.Errorf("%s", s)
 	}
 }
 

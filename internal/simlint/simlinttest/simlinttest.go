@@ -43,7 +43,9 @@ var wantRE = regexp.MustCompile("`([^`]+)`")
 
 // Run loads each fixture package (a path under testdata/src, relative to
 // the calling test's working directory) and checks analyzer a's findings
-// against the fixture's want comments.
+// against the fixture's want comments. Each fixture is analyzed on its
+// own; use RunProgram when the fixture packages must see each other's
+// effect summaries.
 func Run(t *testing.T, a *simlint.Analyzer, fixtures ...string) {
 	t.Helper()
 	ld, err := loader()
@@ -51,24 +53,85 @@ func Run(t *testing.T, a *simlint.Analyzer, fixtures ...string) {
 		t.Fatalf("simlinttest: %v", err)
 	}
 	for _, fx := range fixtures {
-		dir := filepath.Join("testdata", "src", filepath.FromSlash(fx))
-		units, err := ld.LoadDirAs(dir, fx)
-		if err != nil {
-			t.Fatalf("simlinttest: loading %s: %v", fx, err)
-		}
-		if len(units) == 0 {
-			t.Fatalf("simlinttest: no Go files in %s", dir)
-		}
+		units := load(t, ld, fx)
 		for _, u := range units {
 			diags := simlint.RunUnit(u, []*simlint.Analyzer{a})
 			simlint.Sort(diags)
-			check(t, fx, u, diags)
+			wants := collectWants(t, fx, u)
+			checkDiags(t, fx, wants, diags)
 		}
 	}
 }
 
+// RunProgram loads every fixture package into one shared Program — first
+// registering each under its fixture path as a synthetic import, so the
+// fixtures can import one another — and checks analyzer a's findings over
+// the whole program against the combined want comments. This is the
+// harness for cross-package fact propagation: a summary computed in one
+// fixture package must produce the diagnostic expected in another. Stale
+// allow directives anywhere in the fixtures fail the test.
+func RunProgram(t *testing.T, a *simlint.Analyzer, fixtures ...string) {
+	t.Helper()
+	ld, err := loader()
+	if err != nil {
+		t.Fatalf("simlinttest: %v", err)
+	}
+	for _, fx := range fixtures {
+		ld.AddSynthetic(fx, filepath.Join("testdata", "src", filepath.FromSlash(fx)))
+	}
+	var units []*simlint.Unit
+	wants := make(map[wantKey][]*want)
+	for _, fx := range fixtures {
+		for _, u := range load(t, ld, fx) {
+			units = append(units, u)
+			for k, ws := range collectWants(t, fx, u) {
+				wants[k] = append(wants[k], ws...)
+			}
+		}
+	}
+	diags, stale := simlint.RunUnits(units, []*simlint.Analyzer{a})
+	simlint.Sort(diags)
+	label := strings.Join(fixtures, "+")
+	checkDiags(t, label, wants, diags)
+	simlint.SortStale(stale)
+	for _, s := range stale {
+		t.Errorf("%s: %s", label, s)
+	}
+}
+
+// Load loads fixture packages with the shared loader and returns their
+// units, for tests that drive simlint.RunUnits directly (e.g. asserting
+// stale-allow reports rather than diagnostics).
+func Load(t *testing.T, fixtures ...string) []*simlint.Unit {
+	t.Helper()
+	ld, err := loader()
+	if err != nil {
+		t.Fatalf("simlinttest: %v", err)
+	}
+	var units []*simlint.Unit
+	for _, fx := range fixtures {
+		units = append(units, load(t, ld, fx)...)
+	}
+	return units
+}
+
+func load(t *testing.T, ld *simlint.Loader, fx string) []*simlint.Unit {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(fx))
+	units, err := ld.LoadDirAs(dir, fx)
+	if err != nil {
+		t.Fatalf("simlinttest: loading %s: %v", fx, err)
+	}
+	if len(units) == 0 {
+		t.Fatalf("simlinttest: no Go files in %s", dir)
+	}
+	return units
+}
+
+// wantKey identifies one fixture line by module-relative path, so fixture
+// files with the same base name in different packages cannot collide.
 type wantKey struct {
-	file string // base name
+	file string
 	line int
 }
 
@@ -77,7 +140,7 @@ type want struct {
 	matched bool
 }
 
-func check(t *testing.T, fixture string, u *simlint.Unit, diags []simlint.Diagnostic) {
+func collectWants(t *testing.T, fixture string, u *simlint.Unit) map[wantKey][]*want {
 	t.Helper()
 	wants := make(map[wantKey][]*want)
 	for _, f := range u.Files {
@@ -88,7 +151,7 @@ func check(t *testing.T, fixture string, u *simlint.Unit, diags []simlint.Diagno
 					continue
 				}
 				pos := u.Fset.Position(c.Pos())
-				key := wantKey{filepath.Base(pos.Filename), pos.Line}
+				key := wantKey{u.RelFile(pos.Filename), pos.Line}
 				for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
 					re, err := regexp.Compile(m[1])
 					if err != nil {
@@ -99,8 +162,13 @@ func check(t *testing.T, fixture string, u *simlint.Unit, diags []simlint.Diagno
 			}
 		}
 	}
+	return wants
+}
+
+func checkDiags(t *testing.T, label string, wants map[wantKey][]*want, diags []simlint.Diagnostic) {
+	t.Helper()
 	for _, d := range diags {
-		key := wantKey{filepath.Base(d.File), d.Line}
+		key := wantKey{d.File, d.Line}
 		matched := false
 		for _, w := range wants[key] {
 			if !w.matched && w.re.MatchString(d.Message) {
@@ -110,14 +178,14 @@ func check(t *testing.T, fixture string, u *simlint.Unit, diags []simlint.Diagno
 			}
 		}
 		if !matched {
-			t.Errorf("%s: unexpected diagnostic:\n  %s", fixture, d)
+			t.Errorf("%s: unexpected diagnostic:\n  %s", label, d)
 		}
 	}
 	for key, ws := range wants {
 		for _, w := range ws {
 			if !w.matched {
 				t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none",
-					fixture, key.file, key.line, w.re)
+					label, key.file, key.line, w.re)
 			}
 		}
 	}

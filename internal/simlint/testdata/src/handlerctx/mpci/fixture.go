@@ -1,0 +1,72 @@
+// Fixture: the handler-context contract. Functions registered as LAPI
+// header handlers (and completion handlers they return) run in dispatcher
+// context and must not block, re-enter LAPI, or spawn — even when the
+// offending call is several hops down the call chain.
+package mpci
+
+import (
+	"splapi/internal/lapi"
+	"splapi/internal/sim"
+)
+
+type prov struct {
+	l   *lapi.LAPI
+	eng *sim.Engine
+	q   *sim.Queue
+}
+
+var done int
+
+// Three-hop blocking chain: handler -> drainCredits -> pump -> Queue.Get.
+func (pr *prov) drainCredits(p *sim.Proc) { pr.pump(p) }
+func (pr *prov) pump(p *sim.Proc)         { pr.q.Get(p) }
+
+func (pr *prov) blockingHandler(p *sim.Proc, src int, uhdr []byte, n int) ([]byte, lapi.CmplHandler, any) {
+	pr.drainCredits(p)
+	return nil, nil, nil
+}
+
+// Two-hop LAPI re-entry: handler -> ackPeer -> LAPI.Amsend (which is also
+// a blocking primitive: it can stall on the flow-control window).
+func (pr *prov) ackPeer(p *sim.Proc, src int) {
+	pr.l.Amsend(p, src, 0, nil, nil, 0, nil, 0)
+}
+
+func (pr *prov) reenterHandler(p *sim.Proc, src int, uhdr []byte, n int) ([]byte, lapi.CmplHandler, any) {
+	pr.ackPeer(p, src)
+	return nil, nil, nil
+}
+
+func (pr *prov) spawnHandler(p *sim.Proc, src int, uhdr []byte, n int) ([]byte, lapi.CmplHandler, any) {
+	pr.eng.Spawn("helper", func(q *sim.Proc) {})
+	return nil, nil, nil
+}
+
+// cleanHandler stays within the contract: ChargeCPU is a trusted
+// bounded-cost primitive, and the returned completion closure only does
+// local bookkeeping. The closure's blocking-free body keeps its effects
+// out of the handler, and vice versa.
+func (pr *prov) cleanHandler(p *sim.Proc, src int, uhdr []byte, n int) ([]byte, lapi.CmplHandler, any) {
+	pr.l.HAL().ChargeCPU(p, 5)
+	return nil, func(q *sim.Proc, arg any) { done++ }, nil
+}
+
+// rdvHandler itself is clean, but the completion handler it returns
+// re-enters LAPI two hops down: flagged at the closure, not the handler.
+func (pr *prov) rdvHandler(p *sim.Proc, src int, uhdr []byte, n int) ([]byte, lapi.CmplHandler, any) {
+	return nil, func(q *sim.Proc, arg any) { // want `re-enters LAPI` `must not block`
+		pr.ackPeer(q, src)
+	}, nil
+}
+
+func (pr *prov) register() {
+	pr.l.RegisterHeaderHandler(pr.blockingHandler) // want `must not block`
+	pr.l.RegisterHeaderHandler(pr.reenterHandler)  // want `re-enters LAPI` `must not block`
+	pr.l.RegisterHeaderHandler(pr.spawnHandler)    // want `must not schedule`
+	pr.l.RegisterHeaderHandler(pr.cleanHandler)
+	pr.l.RegisterHeaderHandler(pr.rdvHandler)
+
+	// A threaded-only handler documents its regime with the directive.
+	//simlint:allow handlerctx fixture: handler runs under the Base (threaded) regime only
+	pr.l.RegisterHeaderHandler(pr.blockingHandler)
+}

@@ -1,0 +1,26 @@
+// Fixture: cross-package fact propagation. The blocking primitive lives
+// in the sibling xport package (whose summaries are facts computed in a
+// different unit); the handler registration here must still be flagged,
+// with the witness chain crossing the package boundary.
+package mpci
+
+import (
+	"handlerctxprog/xport"
+
+	"splapi/internal/lapi"
+	"splapi/internal/sim"
+)
+
+type prov struct {
+	l *lapi.LAPI
+	c *xport.Credits
+}
+
+func (pr *prov) creditHandler(p *sim.Proc, src int, uhdr []byte, n int) ([]byte, lapi.CmplHandler, any) {
+	pr.c.Reserve(p)
+	return nil, nil, nil
+}
+
+func (pr *prov) register() {
+	pr.l.RegisterHeaderHandler(pr.creditHandler) // want `xport\.Credits\.Reserve.*must not block`
+}

@@ -1,0 +1,18 @@
+// Fixture: cross-package facts. This package is outside the analyzer's
+// scope (base name "xport" is not in the sim domain), so no diagnostics
+// are reported here — but the effect summaries computed from these bodies
+// must reach the sibling fixture package that registers Reserve's caller
+// as a header handler.
+package xport
+
+import "splapi/internal/sim"
+
+// Credits models a send-credit pool whose Reserve blocks until a credit
+// is available.
+type Credits struct {
+	q *sim.Queue
+}
+
+func (c *Credits) Reserve(p *sim.Proc) { c.wait(p) }
+
+func (c *Credits) wait(p *sim.Proc) { c.q.Get(p) }

@@ -32,9 +32,10 @@ func (in *injector) CorruptAndKeep(b []byte) {
 	in.lastCorrupted = b // want `stored into field`
 }
 
-// DropToPool is the other bug shape: a drop decision does not transfer
-// payload ownership to the injector — the fabric owns the snapshot and
-// pools it at its own drop point.
+// DropToPool pools caller-owned bytes. That rule now belongs to the
+// bufpoolown analyzer (see its fixtures), so payloadretain must stay
+// silent here — the shape is kept to prove the rule moved rather than
+// being double-reported.
 func (in *injector) DropToPool(b []byte) {
-	in.eng.Pool().Put(b) // want `returned to the buffer pool`
+	in.eng.Pool().Put(b)
 }

@@ -251,7 +251,7 @@ func (f *Fabric) transit(pkt *Packet, ready sim.Time) {
 			f.stats.Dropped++
 			f.stats.NoRouteDrops++
 			f.tr.Emit(now, tracelog.LFabric, tracelog.KNoRoute, pkt.Src, pkt.Dst, tracelog.PacketID(pkt.seq), pkt.Wire, int64(len(ps.routes)))
-			//simlint:allow payloadretain ownership transfer: the in-flight packet owns the snapshot Send took, and a no-route drop is its delivery point
+			//simlint:allow bufpoolown ownership transfer: the in-flight packet owns the snapshot Send took, and a no-route drop is its delivery point
 			f.eng.Pool().Put(pkt.Payload)
 			return
 		}
