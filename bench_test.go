@@ -169,7 +169,7 @@ func BenchmarkFig10SweepCell(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cell.Run(1, nil, nil)
+		cell.Run(bench.RunSpec{Seed: 1})
 	}
 }
 

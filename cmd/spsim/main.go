@@ -32,6 +32,7 @@ func run() int {
 	traceSeed := flag.Int64("traceseed", 1, "seed for the -trace run")
 	faultSpec := flag.String("faults", "", "fault plan for the -trace run: 'uniform:drop=P,dup=P,corrupt=P', a preset name, or '@plan.json' (a clean fabric consumes no randomness, so only faulted runs diverge across seeds)")
 	traceDrop := flag.Float64("tracedrop", 0, "deprecated: alias for -faults uniform:drop=P")
+	shards := flag.Int("shards", 0, "engine shards per cell run (0/1 = serial; results are bit-identical at any shard count)")
 	pf := prof.Flags()
 	flag.Parse()
 	stop, err := pf.Start()
@@ -134,7 +135,7 @@ func run() int {
 		if !plan.Empty() {
 			mod = func(p *machine.Params) { p.Faults = plan }
 		}
-		c.Run(*traceSeed, mod, tl)
+		c.Run(bench.RunSpec{Seed: *traceSeed, Mod: mod, Trace: tl, Shards: *shards})
 		if err := tracelog.WriteChromeFile(*traceOut, tl); err != nil {
 			fmt.Fprintln(os.Stderr, "spsim:", err)
 			return 1
@@ -146,7 +147,7 @@ func run() int {
 			if !run(e.ID) {
 				continue
 			}
-			res, err := sweep.Run(e, sweep.Options{Seeds: 1})
+			res, err := sweep.Run(e, sweep.Options{Seeds: 1, Shards: *shards})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "spsim:", err)
 				return 1

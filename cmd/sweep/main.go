@@ -50,6 +50,8 @@ func run() int {
 		seedsMax = flag.Int("seeds-max", 0, "sequential stopping: cap repetitions per cell, running batches of -seeds until -rel-ci converges")
 		relCI    = flag.Float64("rel-ci", 0, "sequential stopping target: relative median-CI half-width in percent")
 		par      = flag.Int("par", 0, "worker-pool size (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "engine shards per cell run (0/1 = serial; results are bit-identical at any shard count)")
+		budget   = flag.Int("budget", 0, "worker budget: outer pool is capped at budget/shards workers (0 = max(GOMAXPROCS, -par))")
 		baseSeed = flag.Int64("baseseed", 1, "base seed perturbing every derived seed")
 		out      = flag.String("o", "", "output file (default BENCH_<exp>.json)")
 		faultsFl = cliconf.Faults(flag.CommandLine)
@@ -137,6 +139,7 @@ func run() int {
 			Par: *par, BaseSeed: *baseSeed,
 			Faults: faultsFl.Raw(), DropProb: faultsFl.Drop(), DupProb: faultsFl.Dup(),
 			GitDescribe: git, Trace: *traced,
+			Shards: *shards, WorkerBudget: *budget,
 		}
 		res, err := sweep.Run(e, opts)
 		if err != nil {

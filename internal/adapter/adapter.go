@@ -59,7 +59,7 @@ type Adapter struct {
 
 // New creates the adapter for node and attaches it to the fabric's port.
 func New(eng *sim.Engine, par *machine.Params, fab *switchnet.Fabric, node int) *Adapter {
-	a := &Adapter{eng: eng, par: par, fab: fab, inj: fab.Injector(), node: node, intrPrimed: true}
+	a := &Adapter{eng: eng, par: par, fab: fab, inj: fab.InjectorFor(node), node: node, intrPrimed: true}
 	fab.AttachPort(node, a.fromFabric)
 	return a
 }
@@ -113,7 +113,7 @@ func (a *Adapter) fromFabric(pkt *switchnet.Packet) {
 		// Scripted fault: the receive DMA engine is frozen; the packet
 		// sits on the adapter until the stall window ends.
 		a.stats.StallDelays++
-		a.tr.Emit(now, tracelog.LAdapter, tracelog.KStall, a.node, pkt.Src, tracelog.PacketID(pkt.Seq()), pkt.Wire, int64(end-now))
+		a.tr.Emit(now, tracelog.LAdapter, tracelog.KStall, a.node, pkt.Src, tracelog.PacketID(pkt.Src, pkt.Dst, pkt.Seq()), pkt.Wire, int64(end-now))
 		start = end
 	}
 	if a.recvDMAFree > start {
@@ -121,12 +121,12 @@ func (a *Adapter) fromFabric(pkt *switchnet.Packet) {
 	}
 	done := start + a.par.RecvDMASetup + a.par.DMATime(pkt.Wire)
 	a.recvDMAFree = done
-	a.tr.Emit(now, tracelog.LAdapter, tracelog.KRxDMA, a.node, pkt.Src, tracelog.PacketID(pkt.Seq()), pkt.Wire, int64(done-start))
+	a.tr.Emit(now, tracelog.LAdapter, tracelog.KRxDMA, a.node, pkt.Src, tracelog.PacketID(pkt.Src, pkt.Dst, pkt.Seq()), pkt.Wire, int64(done-start))
 
 	a.eng.At(done, func() {
 		if len(a.fifo) >= a.par.RecvFIFOPackets {
 			a.stats.FIFODrops++
-			a.tr.Emit(a.eng.Now(), tracelog.LAdapter, tracelog.KFIFODrop, a.node, pkt.Src, tracelog.PacketID(pkt.Seq()), pkt.Wire, 0)
+			a.tr.Emit(a.eng.Now(), tracelog.LAdapter, tracelog.KFIFODrop, a.node, pkt.Src, tracelog.PacketID(pkt.Src, pkt.Dst, pkt.Seq()), pkt.Wire, 0)
 			// The packet dies here; its pooled snapshot goes back to the
 			// engine (the delivery-path counterpart is HAL dispatch).
 			//simlint:allow payloadretain ownership transfer: a dropped packet's pooled payload returns to the engine pool

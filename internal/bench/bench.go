@@ -248,6 +248,42 @@ func runBandwidth(c *cluster.Cluster, size, count int) float64 {
 	return bytes / (float64(elapsed) / 1e9) / 1e6
 }
 
+// runRing executes a barrier-delimited neighbour exchange around a ring:
+// every rank streams count messages of size bytes to its right neighbour
+// while receiving from its left. Rank 0's elapsed time converts the
+// aggregate bytes moved into MB/s. Unlike the two-node streams above, the
+// traffic spans the whole job, so this is the workload the shard-scaling
+// walltime series measures the parallel engine with.
+func runRing(c *cluster.Cluster, size, count int) float64 {
+	n := len(c.HALs)
+	var elapsed sim.Time
+	c.RunMPI(0, func(p *sim.Proc, prov mpci.Provider) {
+		w := mpi.NewWorld(prov)
+		me := w.Rank()
+		right := (me + 1) % n
+		left := (me + n - 1) % n
+		sbuf := make([]byte, size)
+		rbuf := make([]byte, size)
+		// Warmup exchange.
+		wr := w.Irecv(p, rbuf, left, 1)
+		w.Send(p, sbuf, right, 1)
+		mpi.WaitAll(p, wr)
+		w.Barrier(p)
+		start := p.Now()
+		for i := 0; i < count; i++ {
+			rr := w.Irecv(p, rbuf, left, 0)
+			w.Send(p, sbuf, right, 0)
+			mpi.WaitAll(p, rr)
+		}
+		w.Barrier(p)
+		if me == 0 {
+			elapsed = p.Now() - start
+		}
+	})
+	bytes := float64(n) * float64(size) * float64(count)
+	return bytes / (float64(elapsed) / 1e9) / 1e6
+}
+
 // Fig10 regenerates Figure 10: message transfer time of raw LAPI vs the
 // MPI-LAPI Base, Counters, and Enhanced designs, 1 B to 1 MB.
 func Fig10() []Series { return SeriesOf(Fig10Experiment(), 1, nil) }

@@ -44,10 +44,21 @@ type Cell struct {
 	// X is the sweep coordinate: message size in bytes for the figures,
 	// the ablated quantity for ablations.
 	X int
-	// Run executes the cell in a fresh simulated universe. tl, when
-	// non-nil, attaches an event log to the cell's cluster; pass nil for
-	// untraced runs (the common case).
-	Run func(seed int64, mod ParamMod, tl *tracelog.Log) Measurement
+	// Run executes the cell in a fresh simulated universe per rc.
+	Run func(rc RunSpec) Measurement
+}
+
+// RunSpec parameterizes one cell run. The zero Mod/Trace/Shards are the
+// common case: unmodified cost model, untraced, serial engine.
+type RunSpec struct {
+	Seed int64
+	// Mod mutates the cost model after the cell's own overrides.
+	Mod ParamMod
+	// Trace, when non-nil, attaches an event log to the cell's cluster.
+	Trace *tracelog.Log
+	// Shards runs the cell's cluster on that many engine shards (0/1 =
+	// serial). Values are bit-identical at any shard count.
+	Shards int
 }
 
 // Direction declares which way is "better" for an experiment's metric, so
@@ -98,47 +109,81 @@ type Experiment struct {
 
 // mpiPingPongCell builds a latency cell (one-way microseconds).
 func mpiPingPongCell(series string, stack cluster.Stack, size int, interrupts bool, overrides ParamMod) Cell {
-	return Cell{Series: series, X: size, Run: func(seed int64, mod ParamMod, tl *tracelog.Log) Measurement {
+	return Cell{Series: series, X: size, Run: func(rc RunSpec) Measurement {
 		par := paperParams()
 		if overrides != nil {
 			overrides(&par)
 		}
-		if mod != nil {
-			mod(&par)
+		if rc.Mod != nil {
+			rc.Mod(&par)
 		}
-		c := cluster.New(cluster.Config{Nodes: 2, Stack: stack, Seed: seed, Params: &par, Interrupts: interrupts, Trace: tl})
+		c := cluster.New(cluster.Config{Nodes: 2, Stack: stack, Seed: rc.Seed, Params: &par, Interrupts: interrupts, Trace: rc.Trace, Shards: rc.Shards})
 		v := runPingPong(c, size, interrupts)
-		return Measurement{Value: v, VirtualTime: c.Eng.Now(), Trace: trace.Collect(c)}
+		return Measurement{Value: v, VirtualTime: c.Now(), Trace: trace.Collect(c)}
 	}}
 }
 
 // rawLAPIPingPongCell builds a latency cell on the bare LAPI stack.
 func rawLAPIPingPongCell(series string, size int) Cell {
-	return Cell{Series: series, X: size, Run: func(seed int64, mod ParamMod, tl *tracelog.Log) Measurement {
+	return Cell{Series: series, X: size, Run: func(rc RunSpec) Measurement {
 		par := paperParams()
-		if mod != nil {
-			mod(&par)
+		if rc.Mod != nil {
+			rc.Mod(&par)
 		}
-		c := cluster.New(cluster.Config{Nodes: 2, Stack: cluster.RawLAPI, Seed: seed, Params: &par, Trace: tl})
+		c := cluster.New(cluster.Config{Nodes: 2, Stack: cluster.RawLAPI, Seed: rc.Seed, Params: &par, Trace: rc.Trace, Shards: rc.Shards})
 		v := runRawLAPIPingPong(c, size)
-		return Measurement{Value: v, VirtualTime: c.Eng.Now(), Trace: trace.Collect(c)}
+		return Measurement{Value: v, VirtualTime: c.Now(), Trace: trace.Collect(c)}
 	}}
 }
 
 // bandwidthCell builds a streaming-bandwidth cell (MB/s).
 func bandwidthCell(series string, stack cluster.Stack, size, count int, overrides ParamMod) Cell {
-	return Cell{Series: series, X: size, Run: func(seed int64, mod ParamMod, tl *tracelog.Log) Measurement {
+	return Cell{Series: series, X: size, Run: func(rc RunSpec) Measurement {
 		par := paperParams()
 		if overrides != nil {
 			overrides(&par)
 		}
-		if mod != nil {
-			mod(&par)
+		if rc.Mod != nil {
+			rc.Mod(&par)
 		}
-		c := cluster.New(cluster.Config{Nodes: 2, Stack: stack, Seed: seed, Params: &par, Trace: tl})
+		c := cluster.New(cluster.Config{Nodes: 2, Stack: stack, Seed: rc.Seed, Params: &par, Trace: rc.Trace, Shards: rc.Shards})
 		v := runBandwidth(c, size, count)
-		return Measurement{Value: v, VirtualTime: c.Eng.Now(), Trace: trace.Collect(c)}
+		return Measurement{Value: v, VirtualTime: c.Now(), Trace: trace.Collect(c)}
 	}}
+}
+
+// ringCell builds a multi-node neighbour-exchange cell (aggregate MB/s);
+// x is the node count.
+func ringCell(series string, stack cluster.Stack, nodes, size, count int) Cell {
+	return Cell{Series: series, X: nodes, Run: func(rc RunSpec) Measurement {
+		par := paperParams()
+		if rc.Mod != nil {
+			rc.Mod(&par)
+		}
+		c := cluster.New(cluster.Config{Nodes: nodes, Stack: stack, Seed: rc.Seed, Params: &par, Trace: rc.Trace, Shards: rc.Shards})
+		v := runRing(c, size, count)
+		return Measurement{Value: v, VirtualTime: c.Now(), Trace: trace.Collect(c)}
+	}}
+}
+
+// RingExperiment: aggregate ring-exchange throughput as the job grows
+// (64 KiB x 16 messages per rank, barrier-delimited). The 16-node cell is
+// the largest committed workload and the one the shard-scaling walltime
+// series runs at 1/2/4 engine shards.
+func RingExperiment() Experiment {
+	e := Experiment{
+		ID:        "ring",
+		Title:     "Ring exchange: aggregate neighbour throughput vs node count",
+		Unit:      "MB/s",
+		Direction: HigherIsBetter,
+	}
+	for _, n := range []int{4, 8, 16} {
+		e.Cells = append(e.Cells,
+			ringCell("Native MPI", cluster.Native, n, 65536, 16),
+			ringCell("MPI-LAPI Enhanced", cluster.LAPIEnhanced, n, 65536, 16),
+		)
+	}
+	return e
 }
 
 // Fig10Experiment: raw LAPI vs the three MPI-LAPI designs (one-way time).
@@ -290,6 +335,7 @@ func Experiments() []Experiment {
 		AblateCtxSwitchExperiment(),
 		AblateCopiesExperiment(),
 		AblateEagerExperiment(),
+		RingExperiment(),
 	}
 }
 
@@ -316,7 +362,7 @@ func SeriesOf(e Experiment, seed int64, mod ParamMod) []Series {
 			idx[c.Series] = i
 			out = append(out, Series{Label: c.Series})
 		}
-		m := c.Run(seed, mod, nil)
+		m := c.Run(RunSpec{Seed: seed, Mod: mod})
 		out[i].Points = append(out[i].Points, Point{Size: c.X, Value: m.Value})
 	}
 	return out

@@ -161,7 +161,7 @@ func runPingPong(par machine.Params, seed int64) Outcome {
 	for _, d := range done {
 		okAll = okAll && d
 	}
-	return Outcome{VTime: c.Eng.Now(), Digest: foldDigests(digests), Ok: okAll, Counters: countersOf(trace.Collect(c))}
+	return Outcome{VTime: c.Now(), Digest: foldDigests(digests), Ok: okAll, Counters: countersOf(trace.Collect(c))}
 }
 
 // runRing is a 4-node Sendrecv ring on the native stack: every iteration
@@ -196,7 +196,7 @@ func runRing(par machine.Params, seed int64) Outcome {
 	for _, d := range done {
 		okAll = okAll && d
 	}
-	return Outcome{VTime: c.Eng.Now(), Digest: foldDigests(digests), Ok: okAll, Counters: countersOf(trace.Collect(c))}
+	return Outcome{VTime: c.Now(), Digest: foldDigests(digests), Ok: okAll, Counters: countersOf(trace.Collect(c))}
 }
 
 // runNASCG runs the CG kernel on MPI-LAPI Enhanced; the distributed

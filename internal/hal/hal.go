@@ -203,7 +203,7 @@ func (h *HAL) Poll(p *sim.Proc) int {
 			// layer boundary, and treat the packet as lost. The
 			// reliability layers above recover by retransmission.
 			h.stats.CorruptDrops++
-			h.tr.Emit(p.Now(), tracelog.LHAL, tracelog.KCrcDrop, h.node, pkt.Src, tracelog.PacketID(pkt.Seq()), len(pkt.Payload), 0)
+			h.tr.Emit(p.Now(), tracelog.LHAL, tracelog.KCrcDrop, h.node, pkt.Src, tracelog.PacketID(pkt.Src, pkt.Dst, pkt.Seq()), len(pkt.Payload), 0)
 			h.eng.Pool().Put(pkt.Payload)
 			continue
 		}

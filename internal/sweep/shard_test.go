@@ -1,0 +1,87 @@
+package sweep
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"splapi/internal/bench"
+)
+
+// TestValidateRejectsNegatives: parallelism options are validated
+// explicitly — a negative is always a caller bug, and silently treating
+// it as "default" used to mask flag-plumbing mistakes.
+func TestValidateRejectsNegatives(t *testing.T) {
+	for _, o := range []Options{
+		{Par: -1},
+		{Shards: -2},
+		{WorkerBudget: -1},
+	} {
+		if _, err := o.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", o)
+		}
+		if _, err := Run(bench.Experiment{ID: "x", Unit: "us"}, o); err == nil {
+			t.Errorf("Run accepted %+v", o)
+		}
+	}
+}
+
+// TestValidateBudget: the outer worker pool is scaled down so
+// cells x shards stays within the worker budget, with a floor of one.
+func TestValidateBudget(t *testing.T) {
+	cases := []struct {
+		o    Options
+		want int
+	}{
+		{Options{Par: 8, Shards: 2, WorkerBudget: 8}, 4},
+		{Options{Par: 8, Shards: 4, WorkerBudget: 8}, 2},
+		{Options{Par: 8, Shards: 16, WorkerBudget: 8}, 1},  // floor
+		{Options{Par: 3, Shards: 2, WorkerBudget: 100}, 3}, // under budget: untouched
+		{Options{Par: 5, WorkerBudget: 2}, 2},              // serial cells still capped
+	}
+	for _, tc := range cases {
+		got, err := tc.o.Validate()
+		if err != nil {
+			t.Fatalf("Validate(%+v): %v", tc.o, err)
+		}
+		if got != tc.want {
+			t.Errorf("Validate(%+v) = %d workers, want %d", tc.o, got, tc.want)
+		}
+	}
+	// Defaults: no explicit budget means max(GOMAXPROCS, Par) — a plain
+	// serial sweep keeps its full pool.
+	got, err := Options{}.Validate()
+	if err != nil || got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("zero options resolved to %d workers (err %v), want GOMAXPROCS", got, err)
+	}
+}
+
+// TestShardInvarianceArtifact is the harness-level half of the tentpole
+// determinism property: sweeping a real registry experiment on 1, 2, and 3
+// engine shards must serialize byte-identical artifacts. (The cluster
+// package proves every partition's trace matches serially; this proves the
+// persisted results can never reveal the shard count.)
+func TestShardInvarianceArtifact(t *testing.T) {
+	e, err := bench.FindExperiment("ablate-eager")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []byte
+	for _, shards := range []int{1, 2, 3} {
+		r, err := Run(e, Options{Seeds: 2, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Encode(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = b
+			continue
+		}
+		if !bytes.Equal(ref, b) {
+			t.Fatalf("shards=%d produced different artifact bytes than shards=1", shards)
+		}
+	}
+}

@@ -81,6 +81,55 @@ type Options struct {
 	// discarded — the option exists to prove (in determinism checks) that
 	// tracing cannot move a virtual-time result.
 	Trace bool
+	// Shards runs every cell on that many engine shards (sim.ShardGroup)
+	// instead of one serial engine. Virtual-time results are bit-identical
+	// at every shard count, so the option never appears in the persisted
+	// artifact; it only trades outer (cell-level) parallelism for inner
+	// (shard-level) parallelism on big cells. 0 or 1 means serial.
+	Shards int
+	// WorkerBudget caps the total goroutine concurrency the sweep may
+	// consume: the outer worker pool is scaled down to at most
+	// budget/Shards workers (floor 1) so cells x shards never oversubscribe
+	// the host. <= 0 means max(GOMAXPROCS, Par).
+	WorkerBudget int
+}
+
+// Validate checks the parallelism options and resolves the outer
+// worker-pool size. Negative Par, Shards, or WorkerBudget values are
+// rejected explicitly — a negative here is always a caller bug, and
+// silently treating it as "default" used to mask flag-plumbing mistakes.
+func (o Options) Validate() (workers int, err error) {
+	if o.Par < 0 {
+		return 0, fmt.Errorf("sweep: Par must be >= 0, got %d", o.Par)
+	}
+	if o.Shards < 0 {
+		return 0, fmt.Errorf("sweep: Shards must be >= 0, got %d", o.Shards)
+	}
+	if o.WorkerBudget < 0 {
+		return 0, fmt.Errorf("sweep: WorkerBudget must be >= 0, got %d", o.WorkerBudget)
+	}
+	workers = o.Par
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards := o.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	budget := o.WorkerBudget
+	if budget <= 0 {
+		budget = workers
+		if g := runtime.GOMAXPROCS(0); g > budget {
+			budget = g
+		}
+	}
+	if workers*shards > budget {
+		workers = budget / shards
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	return workers, nil
 }
 
 // TraceCounters is the compact per-point protocol/fabric counter summary,
@@ -296,9 +345,9 @@ func Run(e bench.Experiment, o Options) (*Result, error) {
 		}
 		maxSeeds = o.SeedsMax
 	}
-	par := o.Par
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
+	par, err := o.Validate()
+	if err != nil {
+		return nil, err
 	}
 	base := o.BaseSeed
 	if base == 0 {
@@ -380,7 +429,7 @@ func Run(e bench.Experiment, o Options) (*Result, error) {
 						if o.Trace {
 							tl = tracelog.New(0)
 						}
-						slots[j.cell][j.rep] = c.Run(seed, mod, tl)
+						slots[j.cell][j.rep] = c.Run(bench.RunSpec{Seed: seed, Mod: mod, Trace: tl, Shards: o.Shards})
 					}()
 				}
 			}()

@@ -8,7 +8,6 @@ import (
 
 	"splapi/internal/bench"
 	"splapi/internal/sim"
-	"splapi/internal/tracelog"
 )
 
 // syntheticExperiment builds a cheap experiment whose cell values are pure
@@ -21,10 +20,10 @@ func syntheticExperiment(cells int) bench.Experiment {
 		e.Cells = append(e.Cells, bench.Cell{
 			Series: "s",
 			X:      i,
-			Run: func(seed int64, mod bench.ParamMod, tl *tracelog.Log) bench.Measurement {
+			Run: func(rc bench.RunSpec) bench.Measurement {
 				return bench.Measurement{
-					Value:       float64(i)*1000 + float64(seed%97),
-					VirtualTime: sim.Time(seed % 1000),
+					Value:       float64(i)*1000 + float64(rc.Seed%97),
+					VirtualTime: sim.Time(rc.Seed % 1000),
 				}
 			},
 		})
@@ -178,11 +177,11 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 func noisySyntheticExperiment() bench.Experiment {
 	e := bench.Experiment{ID: "noisy", Title: "noisy", Unit: "us"}
 	e.Cells = append(e.Cells,
-		bench.Cell{Series: "flat", X: 0, Run: func(seed int64, mod bench.ParamMod, tl *tracelog.Log) bench.Measurement {
+		bench.Cell{Series: "flat", X: 0, Run: func(rc bench.RunSpec) bench.Measurement {
 			return bench.Measurement{Value: 100}
 		}},
-		bench.Cell{Series: "noisy", X: 0, Run: func(seed int64, mod bench.ParamMod, tl *tracelog.Log) bench.Measurement {
-			return bench.Measurement{Value: 100 + float64(seed%977)}
+		bench.Cell{Series: "noisy", X: 0, Run: func(rc bench.RunSpec) bench.Measurement {
+			return bench.Measurement{Value: 100 + float64(rc.Seed%977)}
 		}},
 	)
 	return e
@@ -334,7 +333,7 @@ func TestVarianceDecomposition(t *testing.T) {
 func TestRunPropagatesPanics(t *testing.T) {
 	e := bench.Experiment{ID: "boom", Unit: "us", Cells: []bench.Cell{{
 		Series: "s", X: 1,
-		Run: func(seed int64, mod bench.ParamMod, tl *tracelog.Log) bench.Measurement { panic("kaboom") },
+		Run: func(rc bench.RunSpec) bench.Measurement { panic("kaboom") },
 	}}}
 	if _, err := Run(e, Options{Seeds: 2, Par: 2}); err == nil {
 		t.Fatal("Run swallowed a cell panic")

@@ -9,6 +9,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"splapi/internal/adapter"
 	"splapi/internal/cluster"
@@ -43,10 +44,32 @@ type Report struct {
 	PoolClasses []sim.ClassStat
 }
 
-// Collect snapshots every layer of the cluster.
+// Collect snapshots every layer of the cluster. Pool traffic is summed
+// over all engine shards (one engine when serial).
 func Collect(c *cluster.Cluster) *Report {
-	r := &Report{Stack: c.Stack.String(), Nodes: len(c.HALs), Fabric: c.Fabric.Stats(),
-		Pool: c.Eng.Pool().Stats(), PoolClasses: c.Eng.Pool().ClassStats()}
+	r := &Report{Stack: c.Stack.String(), Nodes: len(c.HALs), Fabric: c.Fabric.Stats()}
+	classes := make(map[uint64]sim.ClassStat)
+	for _, eng := range c.Engines {
+		ps := eng.Pool().Stats()
+		r.Pool.Gets += ps.Gets
+		r.Pool.Hits += ps.Hits
+		r.Pool.Puts += ps.Puts
+		r.Pool.Foreign += ps.Foreign
+		r.Pool.InFlight += ps.InFlight
+		for _, cs := range eng.Pool().ClassStats() {
+			agg := classes[cs.Size]
+			agg.Size = cs.Size
+			agg.Gets += cs.Gets
+			agg.Hits += cs.Hits
+			agg.Puts += cs.Puts
+			agg.Free += cs.Free
+			classes[cs.Size] = agg
+		}
+	}
+	for _, cs := range classes {
+		r.PoolClasses = append(r.PoolClasses, cs)
+	}
+	sort.Slice(r.PoolClasses, func(i, j int) bool { return r.PoolClasses[i].Size < r.PoolClasses[j].Size })
 	for i := range c.HALs {
 		nr := NodeReport{Node: i, Adapter: c.Adapters[i].Stats(), HAL: c.HALs[i].Stats()}
 		if i < len(c.Pipes) {

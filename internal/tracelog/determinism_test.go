@@ -26,7 +26,7 @@ func tracedCell(t *testing.T, seed int64, mod bench.ParamMod) *tracelog.Log {
 	t.Helper()
 	e := bench.Fig10Experiment()
 	tl := tracelog.New(1 << 20)
-	e.Cells[0].Run(seed, mod, tl)
+	e.Cells[0].Run(bench.RunSpec{Seed: seed, Mod: mod, Trace: tl})
 	if tl.Len() == 0 {
 		t.Fatal("traced cell produced no events")
 	}

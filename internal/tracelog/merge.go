@@ -1,0 +1,65 @@
+package tracelog
+
+import "sort"
+
+// Canonical trace order for comparing sharded and serial runs.
+//
+// A serial log records events in global execution order; per-shard logs
+// record each shard's execution order. The two interleave same-timestamp
+// events of *different* nodes differently (the serial engine by event
+// sequence number, which sharding deliberately does not reproduce), but
+// every per-node subsequence is identical because execution is
+// bit-identical. Stable-sorting by (T, Node) therefore maps both to the
+// same canonical stream: each (T, Node) group comes from exactly one
+// shard, and stability preserves its recorded order.
+
+// CanonicalOrder stable-sorts events into canonical (T, Node) order,
+// keeping the shard/epoch annotations (divergence reports want them).
+func CanonicalOrder(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].T != evs[j].T {
+			return evs[i].T < evs[j].T
+		}
+		return evs[i].Node < evs[j].Node
+	})
+}
+
+// Canonicalize is CanonicalOrder plus clearing the Shard and Epoch
+// annotations (execution metadata, not simulation results), so a sharded
+// stream compares equal to a serial one.
+func Canonicalize(evs []Event) {
+	CanonicalOrder(evs)
+	for i := range evs {
+		evs[i].Shard = 0
+		evs[i].Epoch = 0
+	}
+}
+
+// Merge appends the retained events of parts into dst in canonical
+// (T, Node) order, keeping their shard/epoch annotations. parts are the
+// per-shard rings of one sharded run; dst is the caller-facing log. If any
+// part wrapped, the merge is still ordered but has that shard's oldest
+// events missing — size rings for the run, as in the serial case.
+func Merge(dst *Log, parts []*Log) {
+	if dst == nil {
+		return
+	}
+	var all []Event
+	for _, p := range parts {
+		all = append(all, p.Events()...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].T != all[j].T {
+			return all[i].T < all[j].T
+		}
+		return all[i].Node < all[j].Node
+	})
+	for _, ev := range all {
+		dst.buf[dst.next] = ev
+		dst.next++
+		if dst.next == len(dst.buf) {
+			dst.next = 0
+		}
+		dst.total++
+	}
+}

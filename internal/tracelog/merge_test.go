@@ -1,0 +1,85 @@
+package tracelog
+
+import (
+	"bytes"
+	"testing"
+)
+
+// annotated builds a tiny two-shard pair of rings plus the serial ring
+// with the same logical events in a different same-time interleaving.
+func annotated() (serial *Log, shards []*Log) {
+	serial = New(16)
+	serial.Emit(10, LHAL, KHALSend, 0, 1, 0, 64, 0)
+	serial.Emit(10, LHAL, KHALSend, 1, 0, 0, 64, 0)
+	serial.Emit(20, LFabric, KDeliver, 1, 0, 0, 64, 0)
+
+	s0 := New(16)
+	s0.SetShard(0)
+	s0.SetEpoch(3)
+	s0.Emit(10, LHAL, KHALSend, 0, 1, 0, 64, 0)
+	s1 := New(16)
+	s1.SetShard(1)
+	s1.SetEpoch(3)
+	s1.Emit(10, LHAL, KHALSend, 1, 0, 0, 64, 0)
+	s1.SetEpoch(4)
+	s1.Emit(20, LFabric, KDeliver, 1, 0, 0, 64, 0)
+	return serial, []*Log{s0, s1}
+}
+
+// TestMergeCanonicalMatchesSerial: merged per-shard rings, canonicalized,
+// must equal the canonicalized serial stream; the pre-canonical merge
+// keeps the shard/epoch stamps.
+func TestMergeCanonicalMatchesSerial(t *testing.T) {
+	serial, shards := annotated()
+	dst := New(16)
+	Merge(dst, shards)
+	merged := dst.Events()
+	if len(merged) != 3 {
+		t.Fatalf("merge retained %d events, want 3", len(merged))
+	}
+	if merged[1].Shard != 1 || merged[1].Epoch != 3 {
+		t.Fatalf("merge lost annotations: %+v", merged[1])
+	}
+	want := serial.Events()
+	Canonicalize(want)
+	Canonicalize(merged)
+	if idx := Diff(want, merged); idx != -1 {
+		t.Fatalf("canonical merged stream diverges from serial at %d", idx)
+	}
+}
+
+// TestChromeRoundTripsAnnotations: shard/epoch stamps survive the Chrome
+// export/import cycle, and an unannotated log's export contains no
+// shard/epoch keys at all — serial artifacts must stay byte-identical to
+// files written before the fields existed.
+func TestChromeRoundTripsAnnotations(t *testing.T) {
+	serial, shards := annotated()
+	dst := New(16)
+	Merge(dst, shards)
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dst.Events()
+	if len(got) != len(want) {
+		t.Fatalf("round trip changed event count: %d -> %d", len(want), len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d changed across round trip:\n%s\nvs\n%s", i, want[i], got[i])
+		}
+	}
+
+	buf.Reset()
+	if err := WriteChrome(&buf, serial); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"shard"`)) {
+		t.Fatal("serial export leaked a shard annotation")
+	}
+}
