@@ -1,6 +1,6 @@
 # Tier-1 verification, as run by CI (.github/workflows/ci.yml).
 
-.PHONY: verify build vet test lint lint-sarif tidy-check bench bench-shards bench-smoke determinism-check trace-smoke chaos-smoke compare-selfcheck
+.PHONY: verify build vet test lint lint-sarif tidy-check bench bench-shards bench-smoke determinism-check trace-smoke chaos-smoke compare-selfcheck serve-smoke
 
 verify: build vet test lint tidy-check
 
@@ -97,6 +97,16 @@ trace-smoke:
 	go run ./cmd/spsim -exp fig10 -trace /tmp/trace_drop1.json -tracedrop 0.02 -traceseed 1
 	go run ./cmd/spsim -exp fig10 -trace /tmp/trace_drop2.json -tracedrop 0.02 -traceseed 2
 	go run ./cmd/tracediff /tmp/trace_drop1.json /tmp/trace_drop2.json; test $$? -eq 1
+
+# serve-smoke exercises the spsimd service end to end over real HTTP: a
+# small fig10 sweep submitted twice must be a cache miss then an exact
+# hit (byte-identical artifact, /metrics hit counter of 1), and the cold
+# artifact's medians must match the committed BENCH_fig10.json at zero
+# tolerance. The server boots on an ephemeral loopback port with a
+# throwaway cache, so the target is hermetic and CI-safe.
+serve-smoke:
+	go run ./cmd/spsimd -selfsmoke -baseline BENCH_fig10.json > spsimd_selfsmoke.log 2>&1; \
+	status=$$?; cat spsimd_selfsmoke.log; exit $$status
 
 # chaos-smoke runs the fault-injection acceptance harness on two scripted
 # plans x two seeds x every workload, gating on payload-exact MPI results,

@@ -14,11 +14,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"splapi/internal/chaos"
 	"splapi/internal/cliconf"
@@ -60,9 +64,17 @@ func run() int {
 		}
 	}
 
-	res, err := chaos.Run(o)
+	// Ctrl-C (or SIGTERM) lets the (workload, seed) run in flight finish
+	// and then aborts the matrix without writing a partial artifact.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	res, err := chaos.RunCtx(ctx, o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
+		if errors.Is(err, context.Canceled) {
+			return 130
+		}
 		return 2
 	}
 	for _, pr := range res.Plans {

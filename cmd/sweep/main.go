@@ -19,10 +19,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"splapi/internal/bench"
 	"splapi/internal/cliconf"
@@ -132,6 +136,20 @@ func run() int {
 		}
 		exps = []bench.Experiment{e}
 	}
+	if err := (cliconf.SweepParams{
+		Seeds: *seeds, SeedsMax: *seedsMax, RelCIPct: *relCI,
+		Par: *par, Shards: *shards, WorkerBudget: *budget,
+	}).Validate(); err != nil {
+		eprint(err)
+		return 2
+	}
+
+	// Ctrl-C (or SIGTERM) drains the worker pool: in-flight cells finish,
+	// queued ones are skipped, and the sweep exits without writing an
+	// artifact — a file of partial points would pass for a complete run.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	git := cliconf.GitDescribe()
 	for _, e := range exps {
 		opts := sweep.Options{
@@ -141,9 +159,12 @@ func run() int {
 			GitDescribe: git, Trace: *traced,
 			Shards: *shards, WorkerBudget: *budget,
 		}
-		res, err := sweep.Run(e, opts)
+		res, err := sweep.RunCtx(ctx, e, opts)
 		if err != nil {
 			eprint(err)
+			if errors.Is(err, context.Canceled) {
+				return 130
+			}
 			return 1
 		}
 		res.Print(os.Stdout)

@@ -1,0 +1,191 @@
+// Package cache is the campaign service's content-addressed result
+// store: artifact bytes keyed by the canonical request digest
+// (internal/campaign.Digest), persisted on disk so completed work
+// survives restarts.
+//
+// Determinism makes the cache exact — a key fully determines its bytes —
+// so the only failure mode left is the disk lying. Every entry therefore
+// carries its own SHA-256 checksum: a read that fails verification is
+// quarantined (the entry is removed and counted) and reported as a miss,
+// never served. Writes go through a temp file and an atomic rename, so a
+// crash or SIGTERM mid-write leaves either the complete entry or none —
+// a torn write can never be mistaken for a result.
+package cache
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// entrySchema is the first header field of every entry file; bump it if
+// the layout changes so old files read as corrupt rather than as wrong
+// results.
+const entrySchema = "spsimd-cache/v1"
+
+// Stats is a snapshot of the store's counters since Open.
+type Stats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Puts    uint64 `json:"puts"`
+	Corrupt uint64 `json:"corrupt"`
+	// Entries is the number of entry files currently on disk.
+	Entries int `json:"entries"`
+}
+
+// Store is a concurrency-safe on-disk content-addressed store.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	hits    uint64
+	misses  uint64
+	puts    uint64
+	corrupt uint64
+}
+
+// Open creates (if necessary) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// validKey reports whether key is a plausible content address (lowercase
+// hex); anything else could escape the store directory via the filename.
+func validKey(key string) bool {
+	if len(key) != sha256.Size*2 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+".entry")
+}
+
+// Get returns the bytes stored under key. A missing, malformed, or
+// checksum-failing entry is a miss; corrupt entries are quarantined
+// (removed and counted) so they cannot shadow a future Put.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	body, err := readEntry(s.path(key))
+	switch {
+	case err == nil:
+		s.hits++
+		return body, true
+	case os.IsNotExist(err):
+		s.misses++
+		return nil, false
+	default:
+		// The file exists but cannot be verified: quarantine it.
+		s.corrupt++
+		s.misses++
+		os.Remove(s.path(key))
+		return nil, false
+	}
+}
+
+// Contains reports whether a verified entry exists for key without
+// counting a hit or a miss (status probes must not skew the ratio).
+func (s *Store) Contains(key string) bool {
+	if !validKey(key) {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := readEntry(s.path(key))
+	return err == nil
+}
+
+// Put stores body under key, atomically: the entry appears complete or
+// not at all.
+func (s *Store) Put(key string, body []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("cache: invalid key %q (want lowercase hex sha256)", key)
+	}
+	sum := sha256.Sum256(body)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s %s %d\n", entrySchema, hex.EncodeToString(sum[:]), len(body))
+	buf.Write(body)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp := s.path(key) + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp, s.path(key)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cache: %w", err)
+	}
+	s.puts++
+	return nil
+}
+
+// readEntry loads and verifies one entry file. os.IsNotExist errors mean
+// "no entry"; any other error means "entry present but not trustworthy".
+func readEntry(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("cache: %s: truncated header: %w", path, err)
+	}
+	fields := strings.Fields(header)
+	if len(fields) != 3 || fields[0] != entrySchema {
+		return nil, fmt.Errorf("cache: %s: malformed header %q", path, strings.TrimSpace(header))
+	}
+	wantLen, err := strconv.Atoi(fields[2])
+	if err != nil || wantLen < 0 {
+		return nil, fmt.Errorf("cache: %s: malformed length %q", path, fields[2])
+	}
+	body, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("cache: %s: %w", path, err)
+	}
+	if len(body) != wantLen {
+		return nil, fmt.Errorf("cache: %s: body is %d bytes, header says %d", path, len(body), wantLen)
+	}
+	sum := sha256.Sum256(body)
+	if hex.EncodeToString(sum[:]) != fields[1] {
+		return nil, fmt.Errorf("cache: %s: checksum mismatch", path)
+	}
+	return body, nil
+}
+
+// Stats snapshots the counters and counts the entries on disk.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Hits: s.hits, Misses: s.misses, Puts: s.puts, Corrupt: s.corrupt}
+	if matches, err := filepath.Glob(filepath.Join(s.dir, "*.entry")); err == nil {
+		st.Entries = len(matches)
+	}
+	return st
+}

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 
 	"splapi/internal/faults"
@@ -60,6 +61,15 @@ type Options struct {
 // completion, inflation) and against an identical rerun (bit-exact
 // virtual time, digest, and counters).
 func Run(o Options) (*Result, error) {
+	return RunCtx(context.Background(), o)
+}
+
+// RunCtx is Run under a cancellation context, checked between runs: the
+// (workload, seed) run in flight completes — a run is an indivisible
+// deterministic universe — and RunCtx then returns the context's error
+// instead of a Result, so a canceled harness never emits a partial
+// verdict matrix.
+func RunCtx(ctx context.Context, o Options) (*Result, error) {
 	wls := o.Workloads
 	if wls == nil {
 		wls = Workloads()
@@ -81,6 +91,9 @@ func Run(o Options) (*Result, error) {
 	clean := make(map[key]Outcome)
 	for _, wl := range wls {
 		for _, seed := range o.Seeds {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("chaos: canceled, partial results discarded: %w", err)
+			}
 			out := wl.Run(machine.SP332(), seed)
 			clean[key{wl.Name, seed}] = out
 			logf("clean    %-18s seed=%-3d vt=%.3fms digest=%016x ok=%v",
@@ -99,6 +112,9 @@ func Run(o Options) (*Result, error) {
 		pr := PlanResult{Plan: spec, MaxInflation: MaxInflation(spec), Pass: true}
 		for _, wl := range wls {
 			for _, seed := range o.Seeds {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("chaos: canceled, partial results discarded: %w", err)
+				}
 				base := clean[key{wl.Name, seed}]
 				par := machine.SP332()
 				par.Faults = plan

@@ -121,6 +121,42 @@ func TestSeedDefault(t *testing.T) {
 	}
 }
 
+func TestSweepParamsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    SweepParams
+		ok   bool
+	}{
+		{"zero value", SweepParams{}, true},
+		{"plain seeds", SweepParams{Seeds: 16}, true},
+		{"stopping rule", SweepParams{Seeds: 4, SeedsMax: 32, RelCIPct: 2}, true},
+		{"shards within budget", SweepParams{Shards: 2, WorkerBudget: 8}, true},
+		{"shards equal budget", SweepParams{Shards: 4, WorkerBudget: 4}, true},
+		{"negative seeds", SweepParams{Seeds: -1}, false},
+		{"negative seeds-max", SweepParams{SeedsMax: -4}, false},
+		{"negative rel-ci", SweepParams{RelCIPct: -1}, false},
+		{"negative par", SweepParams{Par: -2}, false},
+		{"negative shards", SweepParams{Shards: -1}, false},
+		{"negative budget", SweepParams{WorkerBudget: -1}, false},
+		{"seeds-max below seeds", SweepParams{Seeds: 16, SeedsMax: 4, RelCIPct: 2}, false},
+		{"seeds-max below default seeds=1 is fine", SweepParams{SeedsMax: 1, RelCIPct: 2}, true},
+		{"seeds-max without rel-ci", SweepParams{Seeds: 4, SeedsMax: 32}, false},
+		{"rel-ci without seeds-max", SweepParams{Seeds: 4, RelCIPct: 2}, false},
+		{"shards over budget", SweepParams{Shards: 8, WorkerBudget: 4}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.p.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate(%+v) = %v, want nil", tc.p, err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("Validate(%+v) = nil, want error", tc.p)
+			}
+		})
+	}
+}
+
 func TestTraceFlags(t *testing.T) {
 	fs := newFS()
 	tr := Trace(fs, 1<<10)

@@ -286,8 +286,54 @@ var injectionBoundary = map[string]bool{
 	"faults": true,
 }
 
+// hostDomain names the packages (by final import-path element) that run
+// on the host side of the simulator: harness, measurement, tooling, and
+// the spsimd service layer. Host packages may use the wall clock, bare
+// goroutines, and global randomness freely — none of it can reach a
+// simulation's event schedule, which consumes only engine-derived
+// entropy and virtual time.
+//
+// The classification is deliberately explicit rather than "everything not
+// in simDomain": TestEveryPackageClassified fails the build for a package
+// in neither map, so adding a package forces a recorded decision about
+// which side of the determinism boundary it lives on, instead of
+// scattering //simlint:allow directives or silently escaping the gates.
+var hostDomain = map[string]bool{
+	"splapi":      true, // module root: public façade and paper benchmarks
+	"sweep":       true,
+	"bench":       true,
+	"trace":       true,
+	"machine":     true,
+	"chaos":       true,
+	"cliconf":     true,
+	"prof":        true,
+	"simlint":     true,
+	"simlinttest": true,
+	// The spsimd service layer drives deterministic simulations from the
+	// host: job scheduling, result caching, and transport are wall-clock
+	// code by nature and sit entirely outside the engines they launch.
+	"campaign": true,
+	"cache":    true,
+	"queue":    true,
+	"server":   true,
+	"mcp":      true,
+}
+
 // InSimDomain reports whether pkgPath is a simulation-domain package.
 func InSimDomain(pkgPath string) bool { return simDomain[path.Base(pkgPath)] }
+
+// InHostDomain reports whether pkgPath is host-side code. Commands and
+// examples are host by construction; everything else must be listed.
+func InHostDomain(pkgPath string) bool {
+	if hostDomain[path.Base(pkgPath)] {
+		return true
+	}
+	return strings.Contains(pkgPath, "/cmd/") || strings.Contains(pkgPath, "/examples/")
+}
+
+// Classified reports whether pkgPath has an explicit domain assignment.
+// Unclassified packages are a gate failure, not a default.
+func Classified(pkgPath string) bool { return InSimDomain(pkgPath) || InHostDomain(pkgPath) }
 
 // InInjectionBoundary reports whether pkgPath handles the packet injection
 // boundary.

@@ -67,9 +67,22 @@ func TestAnalyzerScoping(t *testing.T) {
 		"splapi/internal/trace", "splapi/internal/machine",
 		"splapi/internal/simlint", "splapi/internal/simlint/simlinttest",
 		"splapi/cmd/spsim", "splapi/cmd/simlint", "splapi/examples/quickstart",
+		"splapi/internal/campaign", "splapi/internal/campaign/cache",
+		"splapi/internal/campaign/queue", "splapi/internal/campaign/server",
+		"splapi/internal/campaign/mcp", "splapi/cmd/spsimd",
 	} {
 		if simlint.InSimDomain(p) {
 			t.Errorf("InSimDomain(%q) = true, want false", p)
+		}
+		if !simlint.InHostDomain(p) {
+			t.Errorf("InHostDomain(%q) = false, want true", p)
+		}
+	}
+	// The domains partition, never overlap: a package in both would be
+	// gated and exempt at once.
+	for _, p := range []string{"splapi/internal/sim", "splapi/internal/lapi", "splapi/internal/faults"} {
+		if simlint.InHostDomain(p) {
+			t.Errorf("InHostDomain(%q) = true for a sim-domain package", p)
 		}
 	}
 	for _, p := range []string{
@@ -82,5 +95,39 @@ func TestAnalyzerScoping(t *testing.T) {
 	}
 	if simlint.InInjectionBoundary("splapi/internal/mpi") {
 		t.Error("InInjectionBoundary(mpi) = true, want false (mpi sits above the boundary)")
+	}
+}
+
+// TestEveryPackageClassified forces a domain decision for every package
+// in the module: a new package must be named in simDomain or hostDomain
+// (or live under cmd/ or examples/) before the tree is green. Without
+// this, a package could dodge every determinism gate by merely existing.
+func TestEveryPackageClassified(t *testing.T) {
+	ld, err := simlint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := simlint.Expand([]string{filepath.Join(ld.ModuleDir, "...")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no package directories found")
+	}
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(ld.ModuleDir, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgPath := "splapi"
+		if rel != "." {
+			pkgPath = "splapi/" + filepath.ToSlash(rel)
+		}
+		if !simlint.Classified(pkgPath) {
+			t.Errorf("package %s is in neither simDomain nor hostDomain: classify it in internal/simlint/simlint.go", pkgPath)
+		}
+		if simlint.InSimDomain(pkgPath) && simlint.InHostDomain(pkgPath) {
+			t.Errorf("package %s is classified in both domains", pkgPath)
+		}
 	}
 }

@@ -1,0 +1,25 @@
+// Fixture: campaign is the spsimd service layer — host-domain by the
+// package classification in simlint.go, not by per-line allow
+// directives. Wall-clock use for job scheduling and timeouts is fair
+// game here; nothing may be flagged. The sibling walltime/switchnet
+// fixture proves the same calls still fail the gate in a sim-domain
+// package.
+package campaign
+
+import "time"
+
+type JobClock struct {
+	Started time.Time
+}
+
+func (c *JobClock) Begin() {
+	c.Started = time.Now()
+}
+
+func (c *JobClock) Runtime() time.Duration {
+	return time.Since(c.Started)
+}
+
+func DrainDeadline() <-chan time.Time {
+	return time.After(30 * time.Second)
+}

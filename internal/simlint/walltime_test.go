@@ -11,5 +11,6 @@ func TestWalltime(t *testing.T) {
 	simlinttest.Run(t, simlint.Walltime,
 		"walltime/switchnet", // sim-domain package: clock calls flagged
 		"walltime/sweep",     // harness package: clock is fair game
+		"walltime/campaign",  // spsimd host-domain package: exempt by classification
 	)
 }

@@ -24,6 +24,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -92,6 +93,25 @@ type Options struct {
 	// budget/Shards workers (floor 1) so cells x shards never oversubscribe
 	// the host. <= 0 means max(GOMAXPROCS, Par).
 	WorkerBudget int
+	// Progress, when non-nil, receives one host-side event per completed
+	// repetition. Events arrive from worker goroutines serialized by an
+	// internal mutex, but their order reflects scheduling, not cell order
+	// — progress is observability only and must never feed back into the
+	// result (which stays bit-identical with or without a callback).
+	Progress func(Progress)
+}
+
+// Progress is one host-side progress event: repetition Rep of cell Cell
+// finished, Done of the Planned repetitions currently scheduled are
+// complete. Planned grows when sequential stopping schedules another
+// batch, so Done/Planned is a live fraction, not a final one.
+type Progress struct {
+	Cell    int    `json:"cell"`
+	Series  string `json:"series"`
+	X       int    `json:"x"`
+	Rep     int    `json:"rep"`
+	Done    int    `json:"done"`
+	Planned int    `json:"planned"`
 }
 
 // Validate checks the parallelism options and resolves the outer
@@ -330,6 +350,16 @@ func varianceDecomp(points []PointResult) []SeriesVariance {
 // median CI converges; the repetition seeds depend only on the repetition
 // index, so stopping never changes the values a cell would have produced.
 func Run(e bench.Experiment, o Options) (*Result, error) {
+	return RunCtx(context.Background(), e, o)
+}
+
+// RunCtx is Run under a cancellation context. Cancellation is a drain,
+// not an abort: repetitions already running on the pool complete (a cell
+// run is an indivisible deterministic universe), queued ones are skipped,
+// and RunCtx returns the context's error instead of a Result — a canceled
+// sweep never yields a partial artifact that could be mistaken for a
+// complete one.
+func RunCtx(ctx context.Context, e bench.Experiment, o Options) (*Result, error) {
 	seeds := o.Seeds
 	if seeds <= 0 {
 		seeds = 1
@@ -390,6 +420,13 @@ func Run(e bench.Experiment, o Options) (*Result, error) {
 	for i := range active {
 		active[i] = i
 	}
+	// Host-side progress accounting: done/planned counters shared by the
+	// workers, serialized by progressMu. Purely observational.
+	var (
+		progressMu      sync.Mutex
+		progressDone    int
+		progressPlanned int
+	)
 	start := time.Now()
 	for len(active) > 0 {
 		type job struct{ cell, rep int }
@@ -402,6 +439,7 @@ func Run(e bench.Experiment, o Options) (*Result, error) {
 				batch = append(batch, job{ci, r})
 			}
 		}
+		progressPlanned += len(batch)
 		jobs := make(chan job)
 		var (
 			wg       sync.WaitGroup
@@ -413,6 +451,9 @@ func Run(e bench.Experiment, o Options) (*Result, error) {
 			go func() {
 				defer wg.Done()
 				for j := range jobs {
+					if ctx.Err() != nil {
+						continue // drain the queue without running
+					}
 					func() {
 						defer func() {
 							if r := recover(); r != nil {
@@ -431,16 +472,35 @@ func Run(e bench.Experiment, o Options) (*Result, error) {
 						}
 						slots[j.cell][j.rep] = c.Run(bench.RunSpec{Seed: seed, Mod: mod, Trace: tl, Shards: o.Shards})
 					}()
+					if o.Progress != nil {
+						c := e.Cells[j.cell]
+						progressMu.Lock()
+						progressDone++
+						ev := Progress{
+							Cell: j.cell, Series: c.Series, X: c.X, Rep: j.rep,
+							Done: progressDone, Planned: progressPlanned,
+						}
+						o.Progress(ev)
+						progressMu.Unlock()
+					}
 				}
 			}()
 		}
+	feed:
 		for _, j := range batch {
-			jobs <- j
+			select {
+			case jobs <- j:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 		close(jobs)
 		wg.Wait()
 		if panicked != nil {
 			return nil, panicked
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sweep: canceled after draining in-flight cells, partial results discarded: %w", err)
 		}
 		var still []int
 		for _, ci := range active {
