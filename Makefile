@@ -1,8 +1,25 @@
 # Tier-1 verification, as run by CI (.github/workflows/ci.yml).
 
-.PHONY: verify build vet test lint lint-sarif tidy-check bench bench-shards bench-smoke determinism-check trace-smoke chaos-smoke compare-selfcheck serve-smoke
+.PHONY: verify build vet test lint lint-sarif tidy-check bench bench-shards bench-smoke determinism-check trace-smoke chaos-smoke compare-selfcheck serve-smoke conformance ablate-smoke
 
-verify: build vet test lint tidy-check
+verify: build vet test lint tidy-check conformance ablate-smoke
+
+# conformance runs the registry-driven provider suite on its own: every
+# registered MPCI provider — native, the three MPI-LAPI designs, and
+# rdma — through the shared eager/rendezvous/ordering/mode/fault tests,
+# plus the RDMA corrupt-burst zero-copy retry acceptance test. Also part
+# of `make test`; the explicit target is the named CI gate.
+conformance:
+	go test ./internal/mpci -count=1
+
+# ablate-smoke regenerates the copies ablation (including the RDMA
+# zero-copy rendezvous series) at one seed and demands point-identity
+# with the committed 16-seed artifact: every cell is deterministic and
+# seed-invariant on the clean fabric, so one seed reproduces the
+# committed medians exactly.
+ablate-smoke:
+	go run ./cmd/sweep -exp ablate-copies -seeds 1 -o /tmp/BENCH_ablate-copies_smoke.json
+	go run ./cmd/sweep -compare BENCH_ablate-copies.json /tmp/BENCH_ablate-copies_smoke.json -tol 0
 
 build:
 	go build ./...

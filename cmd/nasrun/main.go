@@ -6,7 +6,7 @@
 //
 //	nasrun              # full suite, both stacks
 //	nasrun -bench CG    # one kernel
-//	nasrun -stack mpi-lapi-base -bench LU
+//	nasrun -provider mpi-lapi-base -bench LU
 //	nasrun -bench CG -faults flappy-route -seed 3   # kernel on a faulted fabric
 package main
 
@@ -23,35 +23,28 @@ import (
 	"splapi/internal/tracelog"
 )
 
-func stackByName(name string) (cluster.Stack, error) {
-	for _, s := range []cluster.Stack{
-		cluster.Native, cluster.LAPIBase, cluster.LAPICounters, cluster.LAPIEnhanced,
-	} {
-		if s.String() == name {
-			return s, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown stack %q", name)
-}
-
 func main() {
 	benchName := flag.String("bench", "", "single kernel to run (EP, MG, CG, FT, IS, LU, SP, BT); empty runs the suite")
-	stackName := flag.String("stack", "", "single stack to run on (native, mpi-lapi-base, mpi-lapi-counters, mpi-lapi-enhanced); empty compares native vs enhanced")
+	prov := cliconf.Provider(flag.CommandLine, false, cluster.Native, cluster.LAPIEnhanced)
 	mach := cliconf.Machine(flag.CommandLine)
 	seed := cliconf.Seed(flag.CommandLine)
-	traceOut := flag.String("trace", "", "write a Chrome trace-event file of the run (requires -bench and -stack)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event file of the run (requires -bench and -provider)")
 	flag.Parse()
 
+	if prov.IsList() {
+		prov.PrintList(os.Stdout)
+		return
+	}
 	par, err := mach.PaperParams()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nasrun:", err)
 		os.Exit(2)
 	}
-	if *traceOut != "" && (*benchName == "" || *stackName == "") {
-		fmt.Fprintln(os.Stderr, "nasrun: -trace needs a single run; give both -bench and -stack")
+	if *traceOut != "" && (*benchName == "" || !prov.Explicit()) {
+		fmt.Fprintln(os.Stderr, "nasrun: -trace needs a single run; give both -bench and -provider")
 		os.Exit(2)
 	}
-	if *benchName == "" && *stackName == "" && mach.Faults.Spec() == "" && *seed == 1 && mach.Preset() == "sp332" {
+	if *benchName == "" && !prov.Explicit() && mach.Faults.Spec() == "" && *seed == 1 && mach.Preset() == "sp332" {
 		bench.PrintNAS(os.Stdout)
 		return
 	}
@@ -65,14 +58,10 @@ func main() {
 		}
 		kernels = []nas.Kernel{k}
 	}
-	stacks := []cluster.Stack{cluster.Native, cluster.LAPIEnhanced}
-	if *stackName != "" {
-		s, err := stackByName(*stackName)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		stacks = []cluster.Stack{s}
+	stacks, err := prov.Stacks(&par)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nasrun:", err)
+		os.Exit(2)
 	}
 	var tl *tracelog.Log
 	if *traceOut != "" {

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	pingpong                       # default sweep on native and enhanced
-//	pingpong -stack mpi-lapi-base -size 4096
+//	pingpong -provider mpi-lapi-base -size 4096
+//	pingpong -provider list        # available providers
 //	pingpong -interrupts           # the Figure 13 interrupt-mode receiver
 //	pingpong -bw                   # bandwidth instead of latency
 //	pingpong -machine sp160        # the previous-generation node
@@ -23,34 +24,29 @@ import (
 )
 
 func main() {
-	stackName := flag.String("stack", "", "stack (native, mpi-lapi-base, mpi-lapi-counters, mpi-lapi-enhanced, raw-lapi); empty compares native vs enhanced")
+	prov := cliconf.Provider(flag.CommandLine, true, cluster.Native, cluster.LAPIEnhanced)
 	size := flag.Int("size", -1, "message size in bytes; -1 sweeps")
 	interrupts := flag.Bool("interrupts", false, "interrupt-mode receiver (Figure 13 methodology)")
 	bw := flag.Bool("bw", false, "measure streaming bandwidth instead of latency")
 	count := flag.Int("count", 48, "messages per bandwidth measurement")
 	mach := cliconf.Machine(flag.CommandLine)
 	seed := cliconf.Seed(flag.CommandLine)
-	traceOut := flag.String("trace", "", "write a Chrome trace-event file of the run (requires -stack and -size)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event file of the run (requires -provider and -size)")
 	flag.Parse()
 
+	if prov.IsList() {
+		prov.PrintList(os.Stdout)
+		return
+	}
 	par, err := mach.PaperParams()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pingpong:", err)
 		os.Exit(2)
 	}
-	stacks := []cluster.Stack{cluster.Native, cluster.LAPIEnhanced}
-	if *stackName != "" {
-		found := false
-		for _, s := range []cluster.Stack{cluster.Native, cluster.LAPIBase, cluster.LAPICounters, cluster.LAPIEnhanced, cluster.RawLAPI} {
-			if s.String() == *stackName {
-				stacks = []cluster.Stack{s}
-				found = true
-			}
-		}
-		if !found {
-			fmt.Fprintf(os.Stderr, "pingpong: unknown stack %q\n", *stackName)
-			os.Exit(2)
-		}
+	stacks, err := prov.Stacks(&par)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pingpong:", err)
+		os.Exit(2)
 	}
 	sizes := []int{0, 8, 64, 256, 1024, 4096, 16384, 65536}
 	if *size >= 0 {
@@ -59,7 +55,7 @@ func main() {
 	var tl *tracelog.Log
 	if *traceOut != "" {
 		if len(stacks) != 1 || len(sizes) != 1 {
-			fmt.Fprintln(os.Stderr, "pingpong: -trace needs a single cell; give both -stack and -size")
+			fmt.Fprintln(os.Stderr, "pingpong: -trace needs a single cell; give both -provider and -size")
 			os.Exit(2)
 		}
 		tl = tracelog.New(1 << 20)

@@ -30,6 +30,9 @@ type Stats struct {
 	// StallDelays counts packets whose receive DMA was deferred by a
 	// scripted adapter stall (fault injection).
 	StallDelays uint64
+	// Bypassed counts packets delivered straight to a protocol bypass
+	// handler (the RDMA data path) instead of the receive FIFO.
+	Bypassed uint64
 }
 
 // Adapter is one node's switch adapter.
@@ -52,6 +55,16 @@ type Adapter struct {
 	enqueueCB   func()
 	lastIntr    sim.Time
 	intrPrimed  bool // no interrupt has fired yet (ignore coalesce window)
+
+	// bypass maps a protocol byte (payload[0]) to a direct-delivery
+	// handler. Matching packets never enter the receive FIFO and raise no
+	// interrupt: they model transfers the adapter's DMA engine completes
+	// without host software on the data path (RDMA). They still pay the
+	// receive-DMA occupancy and stall faults above, and they still
+	// traversed the fabric (route spray, CRC stamping, fault plans), so
+	// chaos scripts apply to them unchanged. The handler runs in engine
+	// context and takes ownership of the packet's pooled payload.
+	bypass map[byte]func(*switchnet.Packet)
 
 	stats Stats
 	tr    *tracelog.Log
@@ -124,12 +137,18 @@ func (a *Adapter) fromFabric(pkt *switchnet.Packet) {
 	a.tr.Emit(now, tracelog.LAdapter, tracelog.KRxDMA, a.node, pkt.Src, tracelog.PacketID(pkt.Src, pkt.Dst, pkt.Seq()), pkt.Wire, int64(done-start))
 
 	a.eng.At(done, func() {
+		if len(pkt.Payload) > 0 {
+			if h := a.bypass[pkt.Payload[0]]; h != nil {
+				a.stats.Bypassed++
+				h(pkt)
+				return
+			}
+		}
 		if len(a.fifo) >= a.par.RecvFIFOPackets {
 			a.stats.FIFODrops++
 			a.tr.Emit(a.eng.Now(), tracelog.LAdapter, tracelog.KFIFODrop, a.node, pkt.Src, tracelog.PacketID(pkt.Src, pkt.Dst, pkt.Seq()), pkt.Wire, 0)
 			// The packet dies here; its pooled snapshot goes back to the
 			// engine (the delivery-path counterpart is HAL dispatch).
-			//simlint:allow payloadretain ownership transfer: a dropped packet's pooled payload returns to the engine pool
 			a.eng.Pool().Put(pkt.Payload)
 			return
 		}
@@ -166,6 +185,21 @@ func (a *Adapter) SetInterruptCallback(fn func()) { a.intrCB = fn }
 // packet lands in the receive FIFO, regardless of interrupt state. The HAL
 // uses it to wake pollers.
 func (a *Adapter) SetEnqueueCallback(fn func()) { a.enqueueCB = fn }
+
+// SetBypass registers a direct-delivery handler for one protocol byte:
+// arriving packets whose payload starts with proto are handed to fn after
+// the receive DMA completes, skipping the FIFO and raising no interrupt.
+// fn owns the packet's pooled payload snapshot and must return it to the
+// engine pool. Registering the same proto twice is a wiring bug.
+func (a *Adapter) SetBypass(proto byte, fn func(*switchnet.Packet)) {
+	if a.bypass == nil {
+		a.bypass = make(map[byte]func(*switchnet.Packet))
+	}
+	if a.bypass[proto] != nil {
+		panic("adapter: bypass protocol registered twice")
+	}
+	a.bypass[proto] = fn
+}
 
 // EnableInterrupts turns packet-arrival interrupts on or off.
 func (a *Adapter) EnableInterrupts(on bool) {

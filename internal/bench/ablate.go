@@ -50,7 +50,7 @@ func PrintTable2(w io.Writer) {
 				prov.WaitUntil(p, req.Done)
 			}
 		})
-		st := c.Provs[0].(*mpci.LAPIProvider).Stats()
+		st := c.Provs[0].Stats()
 		proto := "eager"
 		if st.RdvSends > 0 {
 			proto = "rendezvous"

@@ -283,7 +283,11 @@ func AblateCtxSwitchExperiment() Experiment {
 }
 
 // AblateCopiesExperiment disables the native 16 KB head/tail copy rule
-// (Section 2); x is the message size.
+// (Section 2); x is the message size. The last series extends the copy
+// ablation past what the paper could build: the rdma provider removes the
+// rendezvous staging copy entirely (bodies move between registered user
+// buffers), bounding how much bandwidth the remaining copies still cost
+// the Enhanced design.
 func AblateCopiesExperiment() Experiment {
 	e := Experiment{
 		ID:        "ablate-copies",
@@ -298,6 +302,7 @@ func AblateCopiesExperiment() Experiment {
 			bandwidthCell("Native (16KB copy rule)", cluster.Native, size, count, nil),
 			bandwidthCell("Native (copies removed)", cluster.Native, size, count, noCopy),
 			bandwidthCell("MPI-LAPI Enhanced", cluster.LAPIEnhanced, size, count, nil),
+			bandwidthCell("RDMA zero-copy rendezvous", cluster.RDMA, size, count, nil),
 		)
 	}
 	return e

@@ -205,9 +205,8 @@ func splitmix64(state *uint64) uint64 {
 // run.
 func PrintStats(w io.Writer) error {
 	var firstErr error
-	for _, stack := range []cluster.Stack{
-		cluster.Native, cluster.LAPIBase, cluster.LAPICounters, cluster.LAPIEnhanced,
-	} {
+	for _, f := range registryStacks() {
+		stack := cluster.Stack(f.Name)
 		par := paperParams()
 		c := cluster.New(cluster.Config{Nodes: 4, Stack: stack, Seed: 2, Params: &par})
 		c.RunMPI(60*sim.Second, func(p *sim.Proc, prov mpci.Provider) {

@@ -21,49 +21,39 @@ import (
 )
 
 // Stack selects the protocol stack of Figure 1 (plus the Section 5 MPI-LAPI
-// designs).
-type Stack int
+// designs). Its value is the mpci provider-registry name, except RawLAPI,
+// which builds no MPCI at all.
+type Stack string
 
 // Available stacks.
 const (
 	// Native is MPI / MPCI / Pipes / HAL (Figure 1a).
-	Native Stack = iota
+	Native Stack = "native"
 	// LAPIBase is MPI / new MPCI / LAPI / HAL with threaded completion
 	// handlers (the Section 4 base design).
-	LAPIBase
+	LAPIBase Stack = "mpi-lapi-base"
 	// LAPICounters avoids completion handlers for eager messages using
 	// exchanged counters (Section 5.2).
-	LAPICounters
+	LAPICounters Stack = "mpi-lapi-counters"
 	// LAPIEnhanced uses the enhanced LAPI with same-context predefined
 	// completion handlers (Section 5.3).
-	LAPIEnhanced
+	LAPIEnhanced Stack = "mpi-lapi-enhanced"
+	// RDMA is the enhanced MPI-LAPI with the zero-copy RDMA-read
+	// rendezvous (needs Params.RdmaSupported).
+	RDMA Stack = "rdma"
 	// RawLAPI builds only the LAPI endpoints (no MPCI); benchmarks use it
 	// to measure bare LAPI performance as in Figure 10.
-	RawLAPI
+	RawLAPI Stack = "raw-lapi"
 )
 
-func (s Stack) String() string {
-	switch s {
-	case Native:
-		return "native"
-	case LAPIBase:
-		return "mpi-lapi-base"
-	case LAPICounters:
-		return "mpi-lapi-counters"
-	case LAPIEnhanced:
-		return "mpi-lapi-enhanced"
-	case RawLAPI:
-		return "raw-lapi"
-	}
-	return fmt.Sprintf("stack(%d)", int(s))
-}
+func (s Stack) String() string { return string(s) }
 
 // Design returns the MPCI design for LAPI-backed stacks.
 func (s Stack) Design() mpci.Design {
 	switch s {
 	case LAPICounters:
 		return mpci.DesignCounters
-	case LAPIEnhanced:
+	case LAPIEnhanced, RDMA:
 		return mpci.DesignEnhanced
 	default:
 		return mpci.DesignBase
@@ -253,21 +243,23 @@ func New(cfg Config) *Cluster {
 		h.SetTrace(trOf[i])
 		c.Adapters = append(c.Adapters, ad)
 		c.HALs = append(c.HALs, h)
-		switch cfg.Stack {
-		case Native:
-			pp := pipes.New(eng, par, h, cfg.Nodes)
-			pp.SetTrace(trOf[i])
-			c.Pipes = append(c.Pipes, pp)
-			c.Provs = append(c.Provs, mpci.NewNative(eng, par, h, pp, cfg.Nodes, c.Barrier))
-		case RawLAPI:
+		if cfg.Stack == RawLAPI {
 			l := lapi.New(eng, par, h, cfg.Nodes, lapi.Inline)
 			l.SetTrace(trOf[i])
 			c.LAPIs = append(c.LAPIs, l)
-		default:
-			l := lapi.New(eng, par, h, cfg.Nodes, cfg.Stack.Design().LAPIVariant())
-			l.SetTrace(trOf[i])
-			c.LAPIs = append(c.LAPIs, l)
-			c.Provs = append(c.Provs, mpci.NewLAPI(eng, par, l, cfg.Nodes, c.Barrier, cfg.Stack.Design()))
+		} else {
+			f, ok := mpci.Lookup(string(cfg.Stack))
+			if !ok {
+				panic(fmt.Sprintf("cluster: unknown stack %q", cfg.Stack))
+			}
+			ns := f.Build(eng, par, h, cfg.Nodes, c.Barrier)
+			if ns.Pipes != nil {
+				c.Pipes = append(c.Pipes, ns.Pipes)
+			}
+			if ns.LAPI != nil {
+				c.LAPIs = append(c.LAPIs, ns.LAPI)
+			}
+			c.Provs = append(c.Provs, ns.Prov)
 		}
 		if cfg.Interrupts {
 			h.EnableInterrupts(true)

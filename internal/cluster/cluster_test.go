@@ -14,11 +14,12 @@ func TestStackStrings(t *testing.T) {
 		LAPIBase:     "mpi-lapi-base",
 		LAPICounters: "mpi-lapi-counters",
 		LAPIEnhanced: "mpi-lapi-enhanced",
+		RDMA:         "rdma",
 		RawLAPI:      "raw-lapi",
 	}
 	for s, w := range want {
 		if s.String() != w {
-			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), w)
+			t.Errorf("Stack(%q).String() = %q, want %q", string(s), s.String(), w)
 		}
 	}
 }

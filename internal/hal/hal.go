@@ -81,6 +81,9 @@ type HAL struct {
 	intrDwell   sim.Time
 	onIntrEnd   []func(p *sim.Proc)
 
+	// rdma is the node's RDMA engine, created lazily by Rdma() (rdma.go).
+	rdma *rdmaEngine
+
 	stats Stats
 	tr    *tracelog.Log
 }

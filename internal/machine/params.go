@@ -129,6 +129,29 @@ type Params struct {
 	// to piggyback it.
 	AckDelay sim.Time
 
+	// ---- RDMA (registered-buffer zero-copy transfers) ----
+
+	// RdmaSupported gates the adapter's RDMA engines. When false the
+	// registration calls panic, modelling a machine generation without the
+	// capability; the rdma MPCI provider refuses to construct.
+	RdmaSupported bool
+	// RdmaRegisterBase is the fixed software cost of registering (pinning
+	// and translating) a memory region with the adapter.
+	RdmaRegisterBase sim.Time
+	// RdmaRegisterPerPage is the additional registration cost per page of
+	// the region (page-table walk + pinning per page).
+	RdmaRegisterPerPage sim.Time
+	// RdmaPageBytes is the page size the registration cost is charged in.
+	RdmaPageBytes int
+	// RdmaRequestCost is the adapter-side software cost of issuing or
+	// serving one RDMA read/write request descriptor (no copy: the data
+	// path is pure DMA).
+	RdmaRequestCost sim.Time
+	// RdmaRetryTimeout is the initiator's per-operation timer: chunks
+	// still missing when it expires are re-requested (doubling up to
+	// RetransmitMax like LAPI's flow layer).
+	RdmaRetryTimeout sim.Time
+
 	// ---- Fault injection (zero value = clean fabric) ----
 
 	// Faults is the scripted fault plan consumed by the fabric, the
@@ -170,6 +193,13 @@ func SP332() Params {
 
 		NativeHysteresisDwell: 120 * sim.Microsecond,
 		InterruptCoalesce:     5 * sim.Microsecond,
+
+		RdmaSupported:       true,
+		RdmaRegisterBase:    8 * sim.Microsecond,
+		RdmaRegisterPerPage: 450 * sim.Nanosecond,
+		RdmaPageBytes:       4096,
+		RdmaRequestCost:     2 * sim.Microsecond,
+		RdmaRetryTimeout:    2 * sim.Millisecond,
 
 		HeaderBytesNative:     32,
 		HeaderBytesLAPI:       72,
@@ -233,5 +263,18 @@ func SP160() Params {
 	p.HeaderHandlerCost = 1500 * sim.Nanosecond
 	p.InterruptLatency = 55 * sim.Microsecond
 	p.NativeHysteresisDwell = 180 * sim.Microsecond
+	// The TB3 generation predates the registered-buffer DMA engines; the
+	// rdma provider must refuse to run on it (cliconf validates).
+	p.RdmaSupported = false
 	return p
+}
+
+// RdmaRegisterCost returns the virtual time to register an n-byte region:
+// the fixed pin/translate cost plus a per-page charge.
+func (p *Params) RdmaRegisterCost(n int) sim.Time {
+	pages := 1
+	if p.RdmaPageBytes > 0 && n > 0 {
+		pages = (n + p.RdmaPageBytes - 1) / p.RdmaPageBytes
+	}
+	return p.RdmaRegisterBase + sim.Time(pages)*p.RdmaRegisterPerPage
 }

@@ -233,7 +233,7 @@ func TestEnvelopeReorderingMachinery(t *testing.T) {
 			t.Fatalf("MPI ordering violated under envelope reorder: %v", order)
 		}
 	}
-	st := c.Provs[1].(*mpci.LAPIProvider).Stats()
+	st := c.Provs[1].Stats()
 	if st.EnvOOO == 0 {
 		t.Fatal("expected out-of-order envelopes with 60us route skew (test premise)")
 	}

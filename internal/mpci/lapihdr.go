@@ -30,7 +30,13 @@ func (pr *LAPIProvider) headerHandler(p *sim.Proc, src int, uhdr []byte, dataLen
 	case uEager:
 		return pr.hdrEager(p, src, env, seq, auxID, dataLen)
 	case uRTS:
-		pr.hdrRTS(p, src, env, seq, reqID, auxID, blocking)
+		pr.hdrRTS(p, src, env, seq, reqID, auxID, blocking, false, 0)
+		return nil, nil, nil
+	case uRTSZ:
+		pr.hdrRTS(p, src, env, seq, reqID, auxID, blocking, true, uhdrRkey(uhdr))
+		return nil, nil, nil
+	case uRdvDoneZ:
+		pr.zcSendDone(reqID)
 		return nil, nil, nil
 	case uRTSAck:
 		return pr.hdrRTSAck(p, reqID, auxID, blocking)
@@ -119,9 +125,11 @@ func (pr *LAPIProvider) eagerArrivedAll(p *sim.Proc, e *inflightEager) {
 
 // hdrRTS implements Figure 4(b): on a match the acknowledgement is sent by
 // the completion-handler path (header handlers cannot call LAPI); on a miss
-// the request parks in the early-arrival queue.
-func (pr *LAPIProvider) hdrRTS(p *sim.Proc, src int, env Envelope, seq, sendReq, slot uint32, blocking bool) {
-	em := &earlyMsg{env: env, isRTS: true, rtsSendReq: sendReq, rtsBlocking: blocking, bsendSlot: slot, traceID: tracelog.EnvID(src, pr.rank, seq)}
+// the request parks in the early-arrival queue. A zero-copy request (zc)
+// additionally carries the sender's registered-region handle; on a match the
+// receiver pulls the body by RDMA read instead of acknowledging.
+func (pr *LAPIProvider) hdrRTS(p *sim.Proc, src int, env Envelope, seq, sendReq, slot uint32, blocking, zc bool, rkey uint32) {
+	em := &earlyMsg{env: env, isRTS: true, rtsSendReq: sendReq, rtsBlocking: blocking, rtsZC: zc, rtsRkey: rkey, bsendSlot: slot, traceID: tracelog.EnvID(src, pr.rank, seq)}
 	if seq != pr.envSeqIn[src] {
 		pr.stats.EnvOOO++
 		pr.envOOO[src][seq] = em
@@ -137,6 +145,12 @@ func (pr *LAPIProvider) processRTSInOrder(p *sim.Proc, em *earlyMsg) {
 	if req := pr.core.matchArrival(em.env); req != nil {
 		pr.stats.Matched++
 		pr.tr.Emit(p.Now(), tracelog.LMPCI, tracelog.KMatch, pr.rank, em.env.Src, em.traceID, em.env.Size, int64(pr.par.MatchCost))
+		if em.rtsZC {
+			// Zero-copy rendezvous: no acknowledgement round trip; the
+			// receiver registers the posted buffer and pulls directly.
+			pr.zcStartPull(p, req, em)
+			return
+		}
 		id := uint32(len(pr.recvReqs))
 		pr.recvReqs = append(pr.recvReqs, req)
 		req.pendingEnv = em.env

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"splapi/internal/hal"
 	"splapi/internal/lapi"
 	"splapi/internal/machine"
 	"splapi/internal/sim"
@@ -45,21 +46,31 @@ func (d Design) LAPIVariant() lapi.Variant {
 	return lapi.Threaded
 }
 
-// MPI-LAPI user-header kinds (Figures 3-9).
+// MPI-LAPI user-header kinds (Figures 3-9, plus the zero-copy rendezvous
+// of the rdma provider).
 const (
 	uEager     byte = 1
 	uRTS       byte = 2
 	uRTSAck    byte = 3
 	uRdvData   byte = 4
 	uBsendDone byte = 5
+	// uRTSZ is a request-to-send whose body the receiver pulls by RDMA
+	// read from the sender's registered region (rkey in [28:32]).
+	uRTSZ byte = 6
+	// uRdvDoneZ notifies the sender that the receiver's pull completed:
+	// the send request is done and its region can be released.
+	uRdvDoneZ byte = 7
 )
 
 // uhdr layout, padded so that the total on-wire header matches
 // Params.HeaderBytesLAPI (the larger MPI-LAPI header of Section 6.1):
 //
 //	[0]=kind [1]=mode [2]=blocking [3]=pad [4:8]=seq [8:12]=ctx
-//	[12:16]=tag [16:20]=size [20:24]=reqID [24:28]=auxID
-const uhdrMin = 28
+//	[12:16]=tag [16:20]=size [20:24]=reqID [24:28]=auxID [28:32]=rkey
+//
+// The rkey field lives in what was padding for every pre-RDMA kind, so
+// adding it changes no wire sizes (HeaderBytesLAPI already covers it).
+const uhdrMin = 32
 
 // LAPIProvider is the new, thinner MPCI over LAPI (Figure 1c).
 type LAPIProvider struct {
@@ -94,6 +105,10 @@ type LAPIProvider struct {
 	// (e.g. acknowledging a late-matched request-to-send).
 	deferred []func(p *sim.Proc)
 	defCond  sim.Cond
+
+	// zc is the node's RDMA engine when this provider runs the zero-copy
+	// rendezvous (rdma provider, rdmaprov.go); nil otherwise.
+	zc *hal.RdmaEngine
 
 	bsendBuf   []byte
 	bsendUsed  int
@@ -159,6 +174,16 @@ func (pr *LAPIProvider) Stats() ProviderStats { return pr.stats }
 
 // Trace implements Provider.
 func (pr *LAPIProvider) Trace() *tracelog.Log { return pr.tr }
+
+// Capabilities implements Provider.
+func (pr *LAPIProvider) Capabilities() Capabilities {
+	return Capabilities{
+		EnvelopeResequencing: true,
+		CounterCompletions:   pr.design == DesignCounters,
+		InlineCompletions:    pr.design == DesignEnhanced,
+		ZeroCopyRendezvous:   pr.zc != nil,
+	}
+}
 
 // Barrier synchronizes all tasks in the job.
 func (pr *LAPIProvider) Barrier(p *sim.Proc) { pr.bar.Await(p) }
@@ -231,6 +256,12 @@ func parseUhdr(src int, b []byte) (kind byte, env Envelope, blocking bool, seq, 
 	auxID = binary.BigEndian.Uint32(b[24:28])
 	return
 }
+
+// uhdrSetRkey stamps a zero-copy request-to-send's registered-region
+// handle into the header's rkey field (zero for every other kind).
+func uhdrSetRkey(b []byte, rkey uint32) { binary.BigEndian.PutUint32(b[28:32], rkey) }
+
+func uhdrRkey(b []byte) uint32 { return binary.BigEndian.Uint32(b[28:32]) }
 
 // countersEligible reports whether the Counters design's no-completion-
 // handler trick applies to an eager message of the given size: it requires
@@ -314,6 +345,10 @@ func (pr *LAPIProvider) isend(p *sim.Proc, dst int, buf []byte, tag, ctx int, mo
 	}
 	// Rendezvous (Figure 4): request-to-send carrying no data.
 	pr.stats.RdvSends++
+	if pr.zc != nil {
+		pr.zcIsendRdv(p, req, buf, slot, blocking)
+		return req
+	}
 	id := uint32(len(pr.sendReqs))
 	pr.sendReqs = append(pr.sendReqs, req)
 	req.rdvBuf = buf
@@ -369,8 +404,13 @@ func (pr *LAPIProvider) Irecv(p *sim.Proc, src, tag, ctx int, buf []byte) *RecvR
 // claimEarly resolves a posted receive against a matched early arrival.
 func (pr *LAPIProvider) claimEarly(p *sim.Proc, req *RecvReq, em *earlyMsg) {
 	if em.isRTS {
-		// Figure 9: acknowledge the pending request-to-send.
 		pr.core.releaseEarly(em)
+		if em.rtsZC {
+			// Zero-copy rendezvous: pull the body straight into req.Buf.
+			pr.zcStartPull(p, req, em)
+			return
+		}
+		// Figure 9: acknowledge the pending request-to-send.
 		id := uint32(len(pr.recvReqs))
 		pr.recvReqs = append(pr.recvReqs, req)
 		req.pendingEnv = em.env

@@ -89,6 +89,10 @@ type SendReq struct {
 	// recvID is the receiver's rendezvous routing id, learned from the
 	// request-to-send acknowledgement.
 	recvID uint32
+	// rdmaKey is the registered-region handle pinning the message bytes
+	// under a zero-copy rendezvous (rdma provider); released when the
+	// receiver's pull completes.
+	rdmaKey uint32
 }
 
 // Done reports whether the send has completed (the user buffer is safe to
@@ -151,6 +155,13 @@ type Provider interface {
 	// Barrier performs a job-wide synchronization (used by the harness
 	// between program phases; MPI_Barrier itself is built from sends).
 	Barrier(p *sim.Proc)
+	// Capabilities reports what this implementation supports. Callers
+	// branch on capabilities, never on provider names.
+	Capabilities() Capabilities
+	// Stats returns the cumulative protocol counters. Every provider
+	// reports the same struct, so tools and tests read counters without
+	// switching on concrete provider types.
+	Stats() ProviderStats
 	// Trace returns the attached event log (nil when tracing is off). The
 	// MPI layer emits its call enter/exit events through it.
 	Trace() *tracelog.Log
@@ -182,6 +193,10 @@ type earlyMsg struct {
 	isRTS       bool
 	rtsSendReq  uint32
 	rtsBlocking bool
+	// Zero-copy rendezvous (rdma provider): the sender's registered-region
+	// handle the receiver pulls the body from.
+	rtsZC   bool
+	rtsRkey uint32
 	// Matched receive waiting for this early message to finish arriving.
 	claimedBy *RecvReq
 	// onComplete fires when the last payload byte lands after a claim.

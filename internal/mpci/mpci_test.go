@@ -12,9 +12,18 @@ import (
 	"splapi/internal/sim"
 )
 
-var allStacks = []cluster.Stack{
-	cluster.Native, cluster.LAPIBase, cluster.LAPICounters, cluster.LAPIEnhanced,
-}
+// allStacks is the provider conformance list, driven by the registry:
+// every registered provider — including rdma, since the SP332 test
+// machine supports registration — must pass the full suite below. A new
+// provider gets conformance coverage by registering, not by editing
+// tests.
+var allStacks = func() []cluster.Stack {
+	var out []cluster.Stack
+	for _, f := range mpci.Providers() {
+		out = append(out, cluster.Stack(f.Name))
+	}
+	return out
+}()
 
 func pattern(n int, seed byte) []byte {
 	b := make([]byte, n)
@@ -448,42 +457,33 @@ func TestTable2ProtocolTranslation(t *testing.T) {
 		{mpci.ModeBuffered, 78, true},
 		{mpci.ModeBuffered, 79, false},
 	}
-	for _, stack := range []cluster.Stack{cluster.Native, cluster.LAPIEnhanced} {
-		stack := stack
-		t.Run(stack.String(), func(t *testing.T) {
-			for _, cse := range cases {
-				c := build(t, stack, 2, 1, func(p *machine.Params) { p.EagerLimit = 78 })
-				cse := cse
-				c.RunMPI(10*sim.Second, func(p *sim.Proc, prov mpci.Provider) {
-					switch prov.Rank() {
-					case 0:
-						if cse.mode == mpci.ModeBuffered {
-							prov.AttachBuffer(make([]byte, 1<<16))
-						}
-						if cse.mode == mpci.ModeReady {
-							p.Sleep(2 * sim.Millisecond)
-						}
-						req := prov.IsendBlocking(p, 1, pattern(cse.size, 1), 0, 0, cse.mode)
-						prov.WaitUntil(p, req.Done)
-					case 1:
-						req := prov.Irecv(p, 0, 0, 0, make([]byte, cse.size))
-						prov.WaitUntil(p, req.Done)
+	forStacks(t, func(t *testing.T, stack cluster.Stack) {
+		for _, cse := range cases {
+			c := build(t, stack, 2, 1, func(p *machine.Params) { p.EagerLimit = 78 })
+			cse := cse
+			c.RunMPI(10*sim.Second, func(p *sim.Proc, prov mpci.Provider) {
+				switch prov.Rank() {
+				case 0:
+					if cse.mode == mpci.ModeBuffered {
+						prov.AttachBuffer(make([]byte, 1<<16))
 					}
-				})
-				var eager, rdv uint64
-				switch pr := c.Provs[0].(type) {
-				case *mpci.NativeProvider:
-					eager, rdv = pr.Stats().EagerSends, pr.Stats().RdvSends
-				case *mpci.LAPIProvider:
-					eager, rdv = pr.Stats().EagerSends, pr.Stats().RdvSends
+					if cse.mode == mpci.ModeReady {
+						p.Sleep(2 * sim.Millisecond)
+					}
+					req := prov.IsendBlocking(p, 1, pattern(cse.size, 1), 0, 0, cse.mode)
+					prov.WaitUntil(p, req.Done)
+				case 1:
+					req := prov.Irecv(p, 0, 0, 0, make([]byte, cse.size))
+					prov.WaitUntil(p, req.Done)
 				}
-				if cse.wantEager && (eager != 1 || rdv != 0) {
-					t.Errorf("%v %dB: eager=%d rdv=%d, want eager", cse.mode, cse.size, eager, rdv)
-				}
-				if !cse.wantEager && (eager != 0 || rdv != 1) {
-					t.Errorf("%v %dB: eager=%d rdv=%d, want rendezvous", cse.mode, cse.size, eager, rdv)
-				}
+			})
+			st := c.Provs[0].Stats()
+			if cse.wantEager && (st.EagerSends != 1 || st.RdvSends != 0) {
+				t.Errorf("%v %dB: eager=%d rdv=%d, want eager", cse.mode, cse.size, st.EagerSends, st.RdvSends)
 			}
-		})
-	}
+			if !cse.wantEager && (st.EagerSends != 0 || st.RdvSends != 1) {
+				t.Errorf("%v %dB: eager=%d rdv=%d, want rendezvous", cse.mode, cse.size, st.EagerSends, st.RdvSends)
+			}
+		}
+	})
 }

@@ -79,6 +79,11 @@ type ProviderStats struct {
 	// and had their matching deferred (LAPI provider only: the Pipes
 	// stream cannot reorder envelopes).
 	EnvOOO uint64
+	// ZeroCopySends/ZeroCopyRecvs count rendezvous messages whose bodies
+	// moved by RDMA directly between registered user buffers, with no
+	// staging copy on either side (rdma provider).
+	ZeroCopySends uint64
+	ZeroCopyRecvs uint64
 }
 
 // NewNative builds the native MPCI for one task. bar is the job-wide
@@ -194,6 +199,14 @@ func (pr *NativeProvider) Stats() ProviderStats { return pr.stats }
 
 // Trace implements Provider.
 func (pr *NativeProvider) Trace() *tracelog.Log { return pr.tr }
+
+// Capabilities implements Provider.
+func (pr *NativeProvider) Capabilities() Capabilities {
+	return Capabilities{
+		NativeFraming:        true,
+		HysteresisInterrupts: true,
+	}
+}
 
 // Barrier synchronizes all tasks in the job.
 func (pr *NativeProvider) Barrier(p *sim.Proc) { pr.bar.Await(p) }

@@ -30,6 +30,19 @@ import (
 //     never Put, never escapes (field, global, channel, composite,
 //     return, closure capture), and is never handed to another function
 //     is lost on every path.
+//   - use-after-Deregister: RegisterRegion pins a buffer with the adapter
+//     so RDMA engines may land bytes in it; Deregister unpins it. Touching
+//     the buffer through the dead registration afterwards (in source order
+//     within one function) is the RDMA analogue of use-after-Put — the
+//     adapter no longer translates the region, so a transfer aimed at it
+//     scribbles over unpinned memory.
+//
+// A function registered as a packet-delivery handler (Fabric.AttachPort,
+// Adapter.SetBypass) owns its delivered packet's pooled payload — the
+// fabric snapshotted the bytes at injection — so the caller-owned-Put rule
+// exempts its parameters: an RDMA bypass handler landing chunks in a
+// registered read target, or returning the spent packet to the pool, is
+// the discipline working, not a violation.
 //
 // Ownership here is intraprocedural by design: passing a buffer to a
 // callee discharges the leak obligation (the callee may keep it) but does
@@ -51,10 +64,10 @@ func bufpoolownRun(pass *Pass) {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					bufpoolownFunc(pass, fn.Type.Params, fn.Body)
+					bufpoolownFunc(pass, fn.Type.Params, fn.Body, declIsDeliveryOwner(pass, fn))
 				}
 			case *ast.FuncLit:
-				bufpoolownFunc(pass, fn.Type.Params, fn.Body)
+				bufpoolownFunc(pass, fn.Type.Params, fn.Body, false)
 			}
 			return true
 		})
@@ -126,12 +139,22 @@ type bpWalker struct {
 	// Put-of-caller-owned rule.
 	callerTainted map[types.Object]bool
 	carrier       map[types.Object]map[*types.Var]bool
+	// Registered RDMA regions, for the use-after-Deregister rule: the rkey
+	// variable and the buffer it pins, tracked in source order.
+	regKeys map[types.Object]*regRecord
+	regBufs map[types.Object]*regRecord
 	// Loop bodies are walked twice (once to find the fixed point, once to
 	// catch cross-iteration bugs), so reports are deduplicated by site.
 	reported map[string]bool
 }
 
-func bufpoolownFunc(pass *Pass, params *ast.FieldList, body *ast.BlockStmt) {
+// regRecord is one RegisterRegion result tracked within a function.
+type regRecord struct {
+	bufName  string
+	deregged bool
+}
+
+func bufpoolownFunc(pass *Pass, params *ast.FieldList, body *ast.BlockStmt, owner bool) {
 	w := &bpWalker{
 		pass:          pass,
 		info:          pass.Unit.Info,
@@ -139,7 +162,13 @@ func bufpoolownFunc(pass *Pass, params *ast.FieldList, body *ast.BlockStmt) {
 		subs:          make(map[types.Object]*bpRecord),
 		callerTainted: make(map[types.Object]bool),
 		carrier:       make(map[types.Object]map[*types.Var]bool),
+		regKeys:       make(map[types.Object]*regRecord),
+		regBufs:       make(map[types.Object]*regRecord),
 		reported:      make(map[string]bool),
+	}
+	if owner {
+		// Delivery handlers own their packets: no caller taint to seed.
+		params = nil
 	}
 	if params != nil {
 		for _, field := range params.List {
@@ -212,6 +241,64 @@ func (w *bpWalker) poolCallMethod(e ast.Expr) (string, *ast.CallExpr) {
 		return fn.Name(), call
 	}
 	return "", nil
+}
+
+// rdmaCallMethod returns "RegisterRegion" or "Deregister" when call
+// invokes the corresponding hal.RdmaEngine method, else "".
+func (w *bpWalker) rdmaCallMethod(e ast.Expr) (string, *ast.CallExpr) {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", nil
+	}
+	se, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	fn, ok := w.info.Uses[se.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || lastPathElem(fn.Pkg().Path()) != "hal" {
+		return "", nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || recvTypeName(sig) != "RdmaEngine" {
+		return "", nil
+	}
+	switch fn.Name() {
+	case "RegisterRegion", "Deregister":
+		return fn.Name(), call
+	}
+	return "", nil
+}
+
+// bindRegion records `rkey, ready := eng.RegisterRegion(buf)`: uses of buf
+// after Deregister(rkey) are then flagged. Only plain local buffers are
+// tracked; fields and sub-slices of fields are beyond this intraprocedural
+// view.
+func (w *bpWalker) bindRegion(keyLHS, bufArg ast.Expr, tok token.Token) {
+	id, ok := unparen(keyLHS).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	var keyObj types.Object
+	if tok == token.DEFINE {
+		keyObj = w.info.Defs[id]
+	} else {
+		keyObj = w.info.Uses[id]
+	}
+	root := unparen(bufArg)
+	if sl, ok := root.(*ast.SliceExpr); ok {
+		root = unparen(sl.X)
+	}
+	bufID, ok := root.(*ast.Ident)
+	if !ok || keyObj == nil {
+		return
+	}
+	bufObj := w.info.Uses[bufID]
+	if bufObj == nil {
+		return
+	}
+	rec := &regRecord{bufName: bufID.Name}
+	w.regKeys[keyObj] = rec
+	w.regBufs[bufObj] = rec
 }
 
 // capChanging reports whether the reslice changes the slice's capacity:
@@ -312,6 +399,11 @@ func (w *bpWalker) checkUse(id *ast.Ident, env bpEnv) {
 			"use of pooled buffer %s after Put: ownership moved to the pool and a later Get may have recycled the backing array",
 			id.Name)
 	}
+	if rec := w.regBufs[obj]; rec != nil && rec.deregged {
+		w.report(id.Pos(),
+			"access to buffer %s through a deregistered region: Deregister unpinned it, so the adapter no longer translates RDMA transfers aimed at these bytes",
+			id.Name)
+	}
 }
 
 // scanExpr walks an expression on the current path: it checks buffer uses,
@@ -377,6 +469,37 @@ func (w *bpWalker) scanExpr(e ast.Expr, env bpEnv) {
 }
 
 func (w *bpWalker) scanCall(call *ast.CallExpr, env bpEnv) {
+	switch m, pc := w.rdmaCallMethod(call); m {
+	case "Deregister":
+		w.scanExpr(selBase(call.Fun), env)
+		for _, arg := range pc.Args {
+			w.scanExpr(arg, env)
+		}
+		if len(pc.Args) == 1 {
+			if id, ok := unparen(pc.Args[0]).(*ast.Ident); ok {
+				if rec := w.regKeys[w.info.Uses[id]]; rec != nil {
+					rec.deregged = true
+				}
+			}
+		}
+		return
+	case "RegisterRegion":
+		// Registering revives a dead buffer, so the argument's root is not
+		// a use of the old registration; pooled buffers handed over still
+		// discharge their leak obligation.
+		w.scanExpr(selBase(call.Fun), env)
+		for _, arg := range pc.Args {
+			if sl, ok := unparen(arg).(*ast.SliceExpr); ok {
+				w.scanExpr(sl.Low, env)
+				w.scanExpr(sl.High, env)
+				w.scanExpr(sl.Max, env)
+			}
+			if rec, _ := w.aliasOf(arg); rec != nil {
+				rec.passed = true
+			}
+		}
+		return
+	}
 	if m, pc := w.poolCallMethod(call); pc != nil {
 		w.scanExpr(selBase(call.Fun), env)
 		if m == "Put" && len(call.Args) == 1 {
@@ -510,6 +633,11 @@ func (w *bpWalker) walkStmt(s ast.Stmt, env bpEnv) (bpEnv, bool) {
 		}
 		for _, lhs := range s.Lhs {
 			w.unbind(lhs, s.Tok)
+		}
+		if len(s.Rhs) == 1 && len(s.Lhs) == 2 {
+			if m, pc := w.rdmaCallMethod(s.Rhs[0]); m == "RegisterRegion" && len(pc.Args) == 1 {
+				w.bindRegion(s.Lhs[0], pc.Args[0], s.Tok)
+			}
 		}
 		return env, false
 	case *ast.DeclStmt:
@@ -752,6 +880,8 @@ func (w *bpWalker) handleAssignObj(obj types.Object, name string, rhs ast.Expr, 
 	delete(w.vars, obj)
 	delete(w.subs, obj)
 	delete(w.callerTainted, obj)
+	delete(w.regKeys, obj)
+	delete(w.regBufs, obj)
 	if m, pc := w.poolCallMethod(rhs); m == "Get" || m == "Snapshot" {
 		rec := &bpRecord{name: name, src: m, getPos: pc.Pos()}
 		w.recs = append(w.recs, rec)
@@ -789,5 +919,7 @@ func (w *bpWalker) unbind(lhs ast.Expr, tok token.Token) {
 		delete(w.vars, obj)
 		delete(w.subs, obj)
 		delete(w.callerTainted, obj)
+		delete(w.regKeys, obj)
+		delete(w.regBufs, obj)
 	}
 }

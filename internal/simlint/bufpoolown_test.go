@@ -11,7 +11,10 @@ import (
 // cross-branch double-Put (one path returns the buffer, the fall-through
 // returns it again) must be flagged, along with use-after-Put, sub-slice
 // Put, leak-on-all-paths, and the caller-owned-Put rule inherited from
-// payloadretain.
+// payloadretain. The adapter fixture also covers the delivery-owner
+// exemption (a registered bypass handler owns its packet's payload); the
+// hal fixture covers the RDMA region lifetime rule (writing through a
+// deregistered region must flag).
 func TestBufpoolown(t *testing.T) {
-	simlinttest.Run(t, simlint.Bufpoolown, "bufpoolown/adapter")
+	simlinttest.Run(t, simlint.Bufpoolown, "bufpoolown/adapter", "bufpoolown/hal")
 }

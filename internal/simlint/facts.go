@@ -98,7 +98,25 @@ type Program struct {
 
 	funcs map[string]*funcInfo
 	keys  []string // sorted, for deterministic propagation and output
+	// deliveryOwners are functions registered as packet-delivery handlers
+	// (Fabric.AttachPort, Adapter.SetBypass): the fabric snapshotted the
+	// payload at injection, so by delivery the handler owns the pooled
+	// bytes — its *Packet parameter is not caller-owned. payloadretain and
+	// bufpoolown consult this instead of taxing every delivery path with
+	// allow directives.
+	deliveryOwners map[string]bool
 }
+
+// deliveryRegs names the registration points that hand a function
+// ownership of delivered packets (the handler is the second argument).
+var deliveryRegs = map[primKey]bool{
+	{"switchnet", "Fabric", "AttachPort"}: true,
+	{"adapter", "Adapter", "SetBypass"}:   true,
+}
+
+// deliveryOwner reports whether the function with the given summary key is
+// a registered packet-delivery handler.
+func (pr *Program) deliveryOwner(key string) bool { return pr.deliveryOwners[key] }
 
 // primKey classifies a callee by (package base name, receiver type name,
 // function name). Matching by base name rather than full import path keeps
@@ -140,7 +158,7 @@ var trustedBounded = map[primKey]bool{
 // NewProgram builds summaries for every function in units and propagates
 // effects over the call graph to a fixed point.
 func NewProgram(units []*Unit) *Program {
-	pr := &Program{Units: units, funcs: make(map[string]*funcInfo)}
+	pr := &Program{Units: units, funcs: make(map[string]*funcInfo), deliveryOwners: make(map[string]bool)}
 	for _, u := range units {
 		for _, f := range u.Files {
 			for _, decl := range f.Decls {
@@ -254,6 +272,11 @@ func (pr *Program) scanCall(u *Unit, fi *funcInfo, call *ast.CallExpr) {
 		return
 	}
 	pk := primKeyOf(fn)
+	if deliveryRegs[pk] && len(call.Args) == 2 {
+		if key, ok := pr.funcValueKey(u, call.Args[1]); ok {
+			pr.deliveryOwners[key] = true
+		}
+	}
 	if trustedBounded[pk] {
 		return
 	}

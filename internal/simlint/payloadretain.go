@@ -35,6 +35,13 @@ import (
 // any function-call result. A field assignment with a cleansed right-hand
 // side (the fabric's snapshot line) also clears the field's taint for the
 // rest of the function.
+//
+// Ownership exception: a function registered as a packet-delivery handler
+// (Fabric.AttachPort, Adapter.SetBypass — Program.deliveryOwners) is on
+// the far side of the boundary. The fabric snapshotted the payload at
+// injection, so the delivered packet's bytes belong to the handler — it
+// may retain them, land them in a registered RDMA region, or return them
+// to the pool. Its parameters carry no caller taint.
 var Payloadretain = &Analyzer{
 	Name:      "payloadretain",
 	Doc:       "forbid retaining caller-owned []byte payloads across the injection boundary without a copy",
@@ -47,7 +54,7 @@ func payloadretainRun(pass *Pass) {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
-				if fn.Body != nil {
+				if fn.Body != nil && !declIsDeliveryOwner(pass, fn) {
 					newTaintState(pass, fn.Type.Params).walkStmts(fn.Body.List)
 				}
 			case *ast.FuncLit:
@@ -56,6 +63,14 @@ func payloadretainRun(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// declIsDeliveryOwner reports whether fn is a registered packet-delivery
+// handler: it owns the payloads it is handed, so the caller-ownership
+// rules do not apply to its parameters.
+func declIsDeliveryOwner(pass *Pass, fn *ast.FuncDecl) bool {
+	obj, ok := pass.Unit.Info.Defs[fn.Name].(*types.Func)
+	return ok && pass.Prog != nil && pass.Prog.deliveryOwner(funcKeyOf(obj))
 }
 
 // taintState is one function's view of which values alias caller-owned

@@ -17,5 +17,6 @@ func TestPayloadretain(t *testing.T) {
 		"payloadretain/hal",       // every retention shape + copy idioms
 		"payloadretain/tracelog",  // a trace event retaining payload bytes (scalars only!)
 		"payloadretain/faults",    // injector mutates in place; retention flagged
+		"payloadretain/adapter",   // registered delivery handlers own their packets
 	)
 }

@@ -130,3 +130,28 @@ func (n *nic) DeliverAllowed(eng *sim.Engine, pkt []byte) {
 }
 
 func (n *nic) handle([]byte) {}
+
+// Adapter mirrors the real adapter's bypass registration surface; a
+// function handed to SetBypass becomes a delivery handler and owns the
+// pooled payload of every packet it is given.
+type Adapter struct{}
+
+func (a *Adapter) SetBypass(proto byte, fn func(*sim.Engine, *frame)) {}
+
+func wireBypass(a *Adapter, n *nic) {
+	a.SetBypass(3, n.bypassDeliver)
+}
+
+// bypassDeliver is registered above: the fabric snapshotted the payload at
+// injection, so returning it to the pool here is the discipline working.
+// Nothing may be flagged.
+func (n *nic) bypassDeliver(eng *sim.Engine, fr *frame) {
+	n.handle(fr.Payload)
+	eng.Pool().Put(fr.Payload)
+}
+
+// strayDeliver has the same shape but is never registered: its parameter
+// is still caller-owned and pooling it is the usual violation.
+func (n *nic) strayDeliver(eng *sim.Engine, fr *frame) {
+	eng.Pool().Put(fr.Payload) // want `caller-owned`
+}

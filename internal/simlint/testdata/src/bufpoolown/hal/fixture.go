@@ -1,0 +1,59 @@
+// Fixture: RDMA region lifetime. RegisterRegion pins a buffer with the
+// adapter so transfers may land bytes in it; Deregister unpins it. Going
+// through the buffer after its registration died is the RDMA shape of
+// use-after-Put: the adapter no longer translates the region, so a
+// transfer aimed at it scribbles over unpinned memory.
+package hal
+
+// RdmaEngine mirrors the real hal.RdmaEngine registration surface; the
+// analyzer matches it by package and receiver-type name.
+type RdmaEngine struct{}
+
+func (r *RdmaEngine) RegisterRegion(buf []byte) (uint32, int64) { return 1, 0 }
+func (r *RdmaEngine) Deregister(rkey uint32)                    {}
+
+// PullOK is the sanctioned lifetime: register, let the transfer land,
+// deregister last. Nothing here may be flagged.
+func PullOK(eng *RdmaEngine, buf []byte) byte {
+	rkey, _ := eng.RegisterRegion(buf)
+	buf[0] = 7 // transfer target is live while registered
+	v := buf[0]
+	eng.Deregister(rkey)
+	return v
+}
+
+// WriteAfterDeregister is the must-flag shape: the registration died, so
+// the adapter no longer pins or translates buf, but the code still writes
+// through it.
+func WriteAfterDeregister(eng *RdmaEngine, buf []byte) {
+	rkey, _ := eng.RegisterRegion(buf)
+	eng.Deregister(rkey)
+	buf[0] = 7 // want `deregistered region`
+}
+
+// ReadAfterDeregister: reads through the dead registration are the same
+// bug — the bytes may be anything once the region is recycled.
+func ReadAfterDeregister(eng *RdmaEngine, buf []byte) byte {
+	rkey, _ := eng.RegisterRegion(buf)
+	eng.Deregister(rkey)
+	return buf[0] // want `deregistered region`
+}
+
+// Reregister revives the buffer: a fresh registration pins it again, so
+// uses after it are legal.
+func Reregister(eng *RdmaEngine, buf []byte) {
+	rkey, _ := eng.RegisterRegion(buf)
+	eng.Deregister(rkey)
+	rkey2, _ := eng.RegisterRegion(buf)
+	buf[0] = 9 // live again under the new registration
+	eng.Deregister(rkey2)
+}
+
+// SubsliceTarget: registering a prefix of a local buffer tracks the whole
+// backing array — the retry path re-reads into the same registered bytes.
+func SubsliceTarget(eng *RdmaEngine, buf []byte, n int) {
+	rkey, _ := eng.RegisterRegion(buf[:n])
+	buf[0] = 1
+	eng.Deregister(rkey)
+	copy(buf, "stale") // want `deregistered region`
+}

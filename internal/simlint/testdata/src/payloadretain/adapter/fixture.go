@@ -1,0 +1,36 @@
+// Fixture: the delivery side of the injection boundary. A function
+// registered as a delivery handler (Fabric.AttachPort, Adapter.SetBypass)
+// owns the packets it is handed — the fabric snapshotted the bytes at
+// injection — so the retention rules do not apply to its parameters. The
+// same shape without a registration is still the PR 1 bug.
+package adapter
+
+type packet struct {
+	Payload []byte
+}
+
+type ring struct {
+	last []byte
+}
+
+// Adapter mirrors the real adapter's bypass registration surface; the
+// analyzer matches it by package and receiver-type name.
+type Adapter struct{}
+
+func (a *Adapter) SetBypass(proto byte, fn func(*packet)) {}
+
+func wireBypass(a *Adapter, r *ring) {
+	a.SetBypass(3, r.bypassDeliver)
+}
+
+// bypassDeliver is registered: landing the delivered bytes in a
+// longer-lived structure is ownership transfer, not retention. Nothing
+// here may be flagged.
+func (r *ring) bypassDeliver(pkt *packet) {
+	r.last = pkt.Payload
+}
+
+// strayDeliver is not registered anywhere: same shape, still a bug.
+func (r *ring) strayDeliver(pkt *packet) {
+	r.last = pkt.Payload // want `stored into field`
+}

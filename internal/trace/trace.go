@@ -21,14 +21,15 @@ import (
 	"splapi/internal/switchnet"
 )
 
-// NodeReport is one node's layered counters. Pipes/LAPI/Provider are nil
-// when the stack does not include that layer.
+// NodeReport is one node's layered counters. Pipes/LAPI/Rdma/Provider are
+// nil when the stack does not include that layer.
 type NodeReport struct {
 	Node     int
 	Adapter  adapter.Stats
 	HAL      hal.Stats
 	Pipes    *pipes.Stats
 	LAPI     *lapi.Stats
+	Rdma     *hal.RdmaStats
 	Provider *mpci.ProviderStats
 }
 
@@ -80,15 +81,13 @@ func Collect(c *cluster.Cluster) *Report {
 			st := c.LAPIs[i].Stats()
 			nr.LAPI = &st
 		}
+		if c.HALs[i].RdmaActive() {
+			st := c.HALs[i].Rdma().Stats()
+			nr.Rdma = &st
+		}
 		if i < len(c.Provs) {
-			switch pr := c.Provs[i].(type) {
-			case *mpci.NativeProvider:
-				st := pr.Stats()
-				nr.Provider = &st
-			case *mpci.LAPIProvider:
-				st := pr.Stats()
-				nr.Provider = &st
-			}
+			st := c.Provs[i].Stats()
+			nr.Provider = &st
 		}
 		r.Per = append(r.Per, nr)
 	}
@@ -185,23 +184,29 @@ func (r *Report) Consistent() error {
 		return fmt.Errorf("fabric: delivered %d + dropped %d != injected %d + duplicated %d",
 			f.Delivered, f.Dropped, f.Injected, f.Duplicated)
 	}
-	var adapterRecv, halRecv, fifoDrops uint64
+	var adapterRecv, bypassed, halRecv, fifoDrops uint64
 	for _, p := range r.Per {
 		adapterRecv += p.Adapter.Received
+		bypassed += p.Adapter.Bypassed
 		halRecv += p.HAL.PacketsRecvd
 		fifoDrops += p.Adapter.FIFODrops
 	}
-	if adapterRecv+fifoDrops != f.Delivered {
-		return fmt.Errorf("adapters received %d + dropped %d != fabric delivered %d",
-			adapterRecv, fifoDrops, f.Delivered)
+	// Every packet the fabric delivered either entered the receive FIFO,
+	// was delivered straight to a protocol-bypass handler (the RDMA data
+	// path), or was dropped at a full FIFO.
+	if adapterRecv+bypassed+fifoDrops != f.Delivered {
+		return fmt.Errorf("adapters received %d + bypassed %d + dropped %d != fabric delivered %d",
+			adapterRecv, bypassed, fifoDrops, f.Delivered)
 	}
 	var crcDrops uint64
 	for _, p := range r.Per {
 		crcDrops += p.HAL.CorruptDrops
 	}
-	if halRecv+crcDrops > adapterRecv {
-		return fmt.Errorf("HAL dispatched %d + CRC-dropped %d > adapters received %d",
-			halRecv, crcDrops, adapterRecv)
+	// CorruptDrops counts CRC failures on both the FIFO dispatch path and
+	// the RDMA bypass path, so the bound covers both populations.
+	if halRecv+crcDrops > adapterRecv+bypassed {
+		return fmt.Errorf("HAL dispatched %d + CRC-dropped %d > adapters received %d + bypassed %d",
+			halRecv, crcDrops, adapterRecv, bypassed)
 	}
 	if crcDrops > f.Corrupted+f.Duplicated {
 		return fmt.Errorf("HAL CRC-dropped %d > fabric corrupted %d + duplicated %d",
@@ -237,9 +242,13 @@ func (r *Report) Print(w io.Writer) {
 		}
 	}
 	for _, p := range r.Per {
-		fmt.Fprintf(w, "  node %d: hal sent=%d recvd=%d intr=%d fifoDrops=%d crcDrops=%d stalls=%d\n",
+		fmt.Fprintf(w, "  node %d: hal sent=%d recvd=%d intr=%d fifoDrops=%d crcDrops=%d stalls=%d",
 			p.Node, p.HAL.PacketsSent, p.HAL.PacketsRecvd, p.Adapter.Interrupts,
 			p.Adapter.FIFODrops, p.HAL.CorruptDrops, p.Adapter.StallDelays)
+		if p.Adapter.Bypassed > 0 {
+			fmt.Fprintf(w, " bypass=%d", p.Adapter.Bypassed)
+		}
+		fmt.Fprintln(w)
 		if p.Pipes != nil {
 			fmt.Fprintf(w, "          pipes rtx=%d timeouts=%d dups=%d acks=%d ooo=%d stalls=%d\n",
 				p.Pipes.Retransmits, p.Pipes.Timeouts, p.Pipes.DupsDropped, p.Pipes.AcksSent, p.Pipes.OutOfOrder, p.Pipes.WindowStalls)
@@ -247,6 +256,10 @@ func (r *Report) Print(w io.Writer) {
 		if p.LAPI != nil {
 			fmt.Fprintf(w, "          lapi msgs=%d rtx=%d timeouts=%d hdrHdl=%d cmplThr=%d cmplInl=%d cntrUpd=%d\n",
 				p.LAPI.MsgsSent, p.LAPI.Retransmits, p.LAPI.Timeouts, p.LAPI.HdrHandlers, p.LAPI.CmplThreaded, p.LAPI.CmplInline, p.LAPI.CounterUpdates)
+		}
+		if p.Rdma != nil {
+			fmt.Fprintf(w, "          rdma reg=%d regHits=%d dereg=%d reads=%d writes=%d chunks=%d crcDrops=%d retries=%d stale=%d\n",
+				p.Rdma.Registrations, p.Rdma.CacheHits, p.Rdma.Deregistrations, p.Rdma.Reads, p.Rdma.Writes, p.Rdma.DataPackets, p.Rdma.CrcDrops, p.Rdma.Retries, p.Rdma.StaleDrops)
 		}
 		if p.Provider != nil {
 			fmt.Fprintf(w, "          mpci eager=%d rdv=%d matched=%d unexpected=%d\n",

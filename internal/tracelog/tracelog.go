@@ -119,6 +119,19 @@ const (
 	KNoRoute     // all routes down, packet dropped; Arg = route count
 	KStall       // adapter receive DMA stalled; Arg = stall ns remaining
 
+	// RDMA engine (registered-buffer zero-copy transfers; appended so
+	// earlier kind values stay stable across trace tooling).
+	KRdmaReg     // region registered; Size = bytes, Arg = registration cost ns
+	KRdmaRegHit  // registration cache hit; Size = bytes
+	KRdmaDereg   // region deregistered; Size = bytes
+	KRdmaRead    // read request issued/served; Size = bytes, Arg = request cost ns
+	KRdmaWrite   // write initiated; Size = bytes, Arg = request cost ns
+	KRdmaData    // data chunk landed in a registered region; Size = chunk bytes, Arg = chunk index
+	KRdmaDone    // operation complete at the initiator; Size = bytes
+	KRdmaCrcDrop // RDMA data-path packet failed the link CRC check
+	KRdmaRetry   // operation timer fired, missing chunks re-requested; Arg = timeout ns
+	KRdmaStale   // packet for an unknown or deregistered rkey dropped
+
 	numKinds
 )
 
@@ -140,6 +153,8 @@ var kindNames = [numKinds]string{
 	"fabric.dup",
 	"flow.timeout", "fabric.corrupt", "hal.crc-drop", "fabric.route-mask",
 	"fabric.no-route", "adapter.stall",
+	"rdma.reg", "rdma.reg-hit", "rdma.dereg", "rdma.read", "rdma.write",
+	"rdma.data", "rdma.done", "rdma.crc-drop", "rdma.retry", "rdma.stale",
 }
 
 func (k Kind) String() string {
@@ -239,12 +254,15 @@ type Event struct {
 //     headers in both stacks.
 //   - packet: (src, dst, per-(src,dst) injection seq) — per-pair so the id
 //     is identical whether the fabric runs serial or sharded.
+//   - rdmaop: (initiator, per-initiator RDMA operation id) — carried by
+//     every RDMA request and data packet.
 const (
 	domLAPI   = 1
 	domEnv    = 2
 	domFrame  = 3
 	domRdv    = 4
 	domPacket = 5
+	domRdmaOp = 6
 )
 
 // LAPIMsgID packs a LAPI-layer message identity.
@@ -266,6 +284,12 @@ func FrameID(src, dst int, ord uint64) uint64 {
 // clear-to-send carried.
 func RdvID(src, dst int, reqID uint32) uint64 {
 	return domRdv<<56 | uint64(src)<<48 | uint64(dst)<<40 | uint64(reqID)
+}
+
+// RdmaOpID packs an RDMA operation identity from the initiating node and
+// its per-initiator operation id (carried on every request/data packet).
+func RdmaOpID(initiator int, op uint32) uint64 {
+	return domRdmaOp<<56 | uint64(initiator)<<48 | uint64(op)
 }
 
 // PacketID packs a fabric packet identity from its endpoints and its
